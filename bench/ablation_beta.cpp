@@ -1,0 +1,57 @@
+/// \file ablation_beta.cpp
+/// \brief Sweep of the inverse temperature β in the acceptance rule
+/// min(1, e^{−βΔS}·H). The reference implementation fixes β = 3
+/// ("exploitation vs exploration"); this ablation shows why: small β
+/// accepts too many worsening moves to converge tightly, large β gets
+/// greedy and risks local minima.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = hsbp::bench::parse_options(argc, argv, 1.0, 3);
+  hsbp::eval::print_banner("Ablation: inverse temperature beta",
+                           options.scale, options.runs, std::cout);
+
+  hsbp::generator::DcsbmParams params;
+  params.num_vertices = 600;
+  params.num_communities = 8;
+  params.num_edges = 6000;
+  params.ratio_within_between = 3.0;
+  params.seed = options.seed;
+  auto generated = hsbp::generator::generate_dcsbm(params);
+  generated.name = "beta-sweep";
+
+  hsbp::util::Table table({"beta", "NMI", "MDL_norm", "acceptance_rate",
+                           "mcmc_iters", "mcmc_s"});
+  for (const double beta : {0.5, 1.0, 3.0, 5.0, 10.0, 30.0}) {
+    hsbp::sbp::SbpConfig config = hsbp::bench::base_config(options);
+    config.beta = beta;
+    const auto row = hsbp::eval::run_experiment(
+        generated, hsbp::sbp::Variant::Metropolis, config, options.runs);
+    // Recover the acceptance rate from one extra single run's stats.
+    hsbp::sbp::SbpConfig probe = config;
+    probe.seed = options.seed + 99;
+    const auto one = hsbp::sbp::run(generated.graph, probe);
+    const double acceptance =
+        one.stats.proposals > 0
+            ? static_cast<double>(one.stats.accepted_moves) /
+                  static_cast<double>(one.stats.proposals)
+            : 0.0;
+    table.row()
+        .cell(beta, 1)
+        .cell(row.nmi, 3)
+        .cell(row.mdl_norm, 3)
+        .cell(acceptance, 3)
+        .cell(row.mcmc_iterations)
+        .cell(row.mcmc_seconds, 3);
+    std::fprintf(stderr, "  beta=%.1f done\n", beta);
+  }
+  table.print(std::cout);
+  std::cout << "expected shape: acceptance rate falls as beta rises; "
+               "small beta random-walks (many passes, lower NMI) and "
+               "quality plateaus from beta >= 1, covering the reference "
+               "beta = 3.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// \file ablation_hybrid_fraction.cpp
+/// \brief Ablation of H-SBP's one tunable: the fraction of high-degree
+/// vertices processed serially. f = 0 degenerates to A-SBP's update
+/// pattern, f = 1 to fully serial MH; the paper fixes f = 0.15. The
+/// sweep shows the accuracy/parallelism trade-off that choice buys.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/metrics.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = hsbp::bench::parse_options(argc, argv, 1.0, 2);
+  hsbp::eval::print_banner("Ablation: H-SBP high-degree fraction f",
+                           options.scale, options.runs, std::cout);
+
+  // A weak-structure graph — the regime where pure A-SBP struggles and
+  // the serial pass earns its keep.
+  hsbp::generator::DcsbmParams params;
+  params.num_vertices = 600;
+  params.num_communities = 8;
+  params.num_edges = 5000;
+  params.ratio_within_between = 2.0;
+  params.degree_exponent = 2.1;
+  params.max_degree = 80;
+  params.seed = options.seed;
+  auto generated = hsbp::generator::generate_dcsbm(params);
+  generated.name = "weak-structure";
+
+  hsbp::util::Table table({"fraction", "NMI", "MDL_norm", "blocks",
+                           "mcmc_s", "mcmc_iters", "parallel_frac"});
+  for (const double fraction : {0.0, 0.05, 0.15, 0.30, 0.60, 1.0}) {
+    hsbp::sbp::SbpConfig config = hsbp::bench::base_config(options);
+    config.variant = hsbp::sbp::Variant::Hybrid;
+    config.hybrid_fraction = fraction;
+    const auto row = hsbp::eval::run_experiment(
+        generated, hsbp::sbp::Variant::Hybrid, config, options.runs);
+    table.row()
+        .cell(fraction, 2)
+        .cell(row.nmi, 3)
+        .cell(row.mdl_norm, 3)
+        .cell(static_cast<std::int64_t>(row.num_blocks))
+        .cell(row.mcmc_seconds, 3)
+        .cell(row.mcmc_iterations)
+        .cell(row.parallel_update_fraction, 3);
+    std::fprintf(stderr, "  f=%.2f done\n", fraction);
+  }
+  table.print(std::cout);
+  std::cout << "expected shape: quality stabilizes once a small serial "
+               "fraction handles the influential vertices; parallel_frac "
+               "falls linearly with f.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// \file ablation_influence.cpp
+/// \brief Connects the paper's theory section to its empirical findings:
+/// on small graphs where the naive O(V²C³) total-influence α of
+/// De Sa et al. is still computable, sweep the community-strength ratio
+/// r and report α next to how well A-SBP converges relative to SBP.
+/// Also verifies the degree↔influence assumption behind H-SBP (§3.2)
+/// by correlating vertex degree with exerted influence.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/degree.hpp"
+#include "metrics/metrics.hpp"
+#include "sbp/influence.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = hsbp::bench::parse_options(argc, argv, 1.0, 2);
+  hsbp::eval::print_banner(
+      "Ablation: total influence alpha vs A-SBP convergence",
+      options.scale, options.runs, std::cout);
+
+  hsbp::util::Table table({"r", "alpha", "deg-influence_corr", "SBP_NMI",
+                           "ASBP_NMI", "ASBP_match"});
+  for (const double ratio : {1.2, 2.0, 3.0, 5.0, 8.0}) {
+    hsbp::generator::DcsbmParams params;
+    params.num_vertices = 90;
+    params.num_communities = 4;
+    params.num_edges = 700;
+    params.ratio_within_between = ratio;
+    params.seed = options.seed + static_cast<std::uint64_t>(ratio * 10);
+    auto generated = hsbp::generator::generate_dcsbm(params);
+    generated.name = "alpha-sweep";
+
+    const auto influence = hsbp::sbp::total_influence(
+        generated.graph, generated.ground_truth, params.num_communities,
+        3.0);
+
+    // Degree ↔ exerted-influence correlation (H-SBP's assumption).
+    std::vector<double> degrees, exerted;
+    for (hsbp::graph::Vertex v = 0; v < generated.graph.num_vertices();
+         ++v) {
+      degrees.push_back(static_cast<double>(generated.graph.degree(v)));
+      exerted.push_back(
+          influence.influence_of[static_cast<std::size_t>(v)]);
+    }
+    const auto correlation = hsbp::util::pearson(degrees, exerted);
+
+    hsbp::sbp::SbpConfig config = hsbp::bench::base_config(options);
+    const auto base = hsbp::eval::run_experiment(
+        generated, hsbp::sbp::Variant::Metropolis, config, options.runs);
+    const auto async = hsbp::eval::run_experiment(
+        generated, hsbp::sbp::Variant::AsyncGibbs, config, options.runs);
+
+    table.row()
+        .cell(ratio, 1)
+        .cell(influence.alpha, 2)
+        .cell(correlation.r, 3)
+        .cell(base.nmi, 3)
+        .cell(async.nmi, 3)
+        .cell(async.nmi >= base.nmi - 0.05 ? std::string("yes")
+                                           : std::string("no"));
+    std::fprintf(stderr, "  r=%.1f done\n", ratio);
+  }
+  table.print(std::cout);
+  std::cout << "expected shape: degree-influence correlation strongly "
+               "positive (H-SBP's premise); alpha >> 1 everywhere at this "
+               "size, which is why the paper falls back to the degree "
+               "heuristic instead of thresholding alpha.\n";
+  return 0;
+}

@@ -1,0 +1,207 @@
+/// \file bm_kernels.cpp
+/// \brief google-benchmark micro benches for the kernels every SBP
+/// variant is built from: neighbor gathering, ΔMDL for moves and
+/// merges, proposal drawing, Hastings correction, in-place vertex
+/// moves, full-matrix rebuild, and MDL evaluation. These are the
+/// numbers to watch when optimizing — the paper's future-work section
+/// calls out rebuild cost and data-structure choice explicitly.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/dense_matrix.hpp"
+#include "blockmodel/mdl.hpp"
+#include "blockmodel/merge_delta.hpp"
+#include "blockmodel/vertex_move_delta.hpp"
+#include "generator/dcsbm.hpp"
+#include "sbp/hastings.hpp"
+#include "sbp/proposal.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using hsbp::blockmodel::BlockId;
+using hsbp::blockmodel::Blockmodel;
+using hsbp::graph::Vertex;
+
+struct Fixture {
+  hsbp::generator::GeneratedGraph generated;
+  Blockmodel blockmodel;
+
+  explicit Fixture(Vertex vertices, std::int32_t communities,
+                   hsbp::graph::EdgeCount edges) {
+    hsbp::generator::DcsbmParams params;
+    params.num_vertices = vertices;
+    params.num_communities = communities;
+    params.num_edges = edges;
+    params.ratio_within_between = 3.0;
+    params.seed = 1234;
+    generated = hsbp::generator::generate_dcsbm(params);
+    blockmodel = Blockmodel::from_assignment(
+        generated.graph, generated.ground_truth, communities);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f(2000, 16, 20000);
+  return f;
+}
+
+void BM_GatherNeighborBlocks(benchmark::State& state) {
+  auto& f = fixture();
+  hsbp::util::Rng rng(1);
+  for (auto _ : state) {
+    const auto v = static_cast<Vertex>(rng.uniform_int(2000));
+    benchmark::DoNotOptimize(hsbp::blockmodel::gather_neighbor_blocks(
+        f.generated.graph, f.blockmodel.assignment(), v));
+  }
+}
+BENCHMARK(BM_GatherNeighborBlocks);
+
+void BM_VertexMoveDelta(benchmark::State& state) {
+  auto& f = fixture();
+  hsbp::util::Rng rng(2);
+  for (auto _ : state) {
+    const auto v = static_cast<Vertex>(rng.uniform_int(2000));
+    const BlockId from = f.blockmodel.block_of(v);
+    const auto to =
+        static_cast<BlockId>((from + 1 + rng.uniform_int(15)) % 16);
+    const auto nb = hsbp::blockmodel::gather_neighbor_blocks(
+        f.generated.graph, f.blockmodel.assignment(), v);
+    benchmark::DoNotOptimize(
+        hsbp::blockmodel::vertex_move_delta(f.blockmodel, from, to, nb));
+  }
+}
+BENCHMARK(BM_VertexMoveDelta);
+
+void BM_ProposeBlock(benchmark::State& state) {
+  auto& f = fixture();
+  hsbp::util::Rng rng(3);
+  for (auto _ : state) {
+    const auto v = static_cast<Vertex>(rng.uniform_int(2000));
+    const auto nb = hsbp::blockmodel::gather_neighbor_blocks(
+        f.generated.graph, f.blockmodel.assignment(), v);
+    benchmark::DoNotOptimize(hsbp::sbp::propose_block(
+        f.blockmodel, nb, f.blockmodel.block_of(v), false, rng));
+  }
+}
+BENCHMARK(BM_ProposeBlock);
+
+void BM_HastingsCorrection(benchmark::State& state) {
+  auto& f = fixture();
+  hsbp::util::Rng rng(4);
+  for (auto _ : state) {
+    const auto v = static_cast<Vertex>(rng.uniform_int(2000));
+    const BlockId from = f.blockmodel.block_of(v);
+    const auto to =
+        static_cast<BlockId>((from + 1 + rng.uniform_int(15)) % 16);
+    const auto nb = hsbp::blockmodel::gather_neighbor_blocks(
+        f.generated.graph, f.blockmodel.assignment(), v);
+    const auto delta =
+        hsbp::blockmodel::vertex_move_delta(f.blockmodel, from, to, nb);
+    benchmark::DoNotOptimize(
+        hsbp::sbp::hastings_correction(f.blockmodel, nb, from, to, delta));
+  }
+}
+BENCHMARK(BM_HastingsCorrection);
+
+void BM_MoveVertexRoundTrip(benchmark::State& state) {
+  auto f = Fixture(2000, 16, 20000);  // private copy: we mutate it
+  hsbp::util::Rng rng(5);
+  for (auto _ : state) {
+    const auto v = static_cast<Vertex>(rng.uniform_int(2000));
+    const BlockId from = f.blockmodel.block_of(v);
+    const auto to =
+        static_cast<BlockId>((from + 1 + rng.uniform_int(15)) % 16);
+    if (f.blockmodel.block_size(from) <= 1) continue;
+    f.blockmodel.move_vertex(f.generated.graph, v, to);
+    f.blockmodel.move_vertex(f.generated.graph, v, from);
+  }
+}
+BENCHMARK(BM_MoveVertexRoundTrip);
+
+void BM_MergeDelta(benchmark::State& state) {
+  auto& f = fixture();
+  hsbp::util::Rng rng(6);
+  for (auto _ : state) {
+    const auto from = static_cast<BlockId>(rng.uniform_int(16));
+    const auto to = static_cast<BlockId>((from + 1 + rng.uniform_int(15)) % 16);
+    benchmark::DoNotOptimize(hsbp::blockmodel::merge_delta_mdl(
+        f.blockmodel, from, to, f.generated.graph.num_vertices(),
+        f.generated.graph.num_edges()));
+  }
+}
+BENCHMARK(BM_MergeDelta);
+
+void BM_RebuildBlockmodel(benchmark::State& state) {
+  auto f = Fixture(static_cast<Vertex>(state.range(0)), 16,
+                   static_cast<hsbp::graph::EdgeCount>(state.range(0)) * 10);
+  const auto assignment = f.blockmodel.copy_assignment();
+  for (auto _ : state) {
+    f.blockmodel.rebuild(f.generated.graph, assignment);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 10);
+}
+BENCHMARK(BM_RebuildBlockmodel)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_FullMdl(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hsbp::blockmodel::mdl(f.blockmodel, f.generated.graph.num_vertices(),
+                              f.generated.graph.num_edges()));
+  }
+}
+BENCHMARK(BM_FullMdl);
+
+void BM_IdentityBlockmodel(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Blockmodel::identity(f.generated.graph));
+  }
+}
+BENCHMARK(BM_IdentityBlockmodel);
+
+// ---- sparse vs dense backend (paper future work: reconstruction-
+// friendly data structures). The dense backend's add() is a single
+// indexed store; the sparse one hashes twice. The crossover argument:
+// dense wins once C is small enough for C² cells to fit caches.
+
+void BM_SparseMatrixFill(benchmark::State& state) {
+  const auto blocks = static_cast<BlockId>(state.range(0));
+  hsbp::util::Rng rng(7);
+  std::vector<std::pair<BlockId, BlockId>> cells(20000);
+  for (auto& [r, c] : cells) {
+    r = static_cast<BlockId>(rng.uniform_int(static_cast<std::uint64_t>(blocks)));
+    c = static_cast<BlockId>(rng.uniform_int(static_cast<std::uint64_t>(blocks)));
+  }
+  for (auto _ : state) {
+    hsbp::blockmodel::DictTransposeMatrix m(blocks);
+    for (const auto& [r, c] : cells) m.add(r, c, 1);
+    benchmark::DoNotOptimize(m.total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_SparseMatrixFill)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_DenseMatrixFill(benchmark::State& state) {
+  const auto blocks = static_cast<BlockId>(state.range(0));
+  hsbp::util::Rng rng(7);
+  std::vector<std::pair<BlockId, BlockId>> cells(20000);
+  for (auto& [r, c] : cells) {
+    r = static_cast<BlockId>(rng.uniform_int(static_cast<std::uint64_t>(blocks)));
+    c = static_cast<BlockId>(rng.uniform_int(static_cast<std::uint64_t>(blocks)));
+  }
+  for (auto _ : state) {
+    hsbp::blockmodel::DenseMatrix m(blocks);
+    for (const auto& [r, c] : cells) m.add(r, c, 1);
+    benchmark::DoNotOptimize(m.total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_DenseMatrixFill)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,26 @@
+/// \file fig6_realworld_speedup.cpp
+/// \brief Paper Fig. 6: MCMC-phase speedup of H-SBP over SBP on the
+/// real-world graphs (paper: up to 5.6× on web-BerkStan, slowdown only
+/// on barth5 where H-SBP's iteration count explodes).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = hsbp::bench::parse_options(argc, argv, 0.002, 2);
+  hsbp::eval::print_banner(
+      "Fig. 6: MCMC-phase speedup on real-world graphs (H-SBP vs SBP)",
+      options.scale, options.runs, std::cout);
+
+  const auto entries = hsbp::generator::realworld_surrogate_suite(
+      options.scale, options.seed);
+  const auto rows = hsbp::bench::run_suite(
+      entries,
+      {hsbp::sbp::Variant::Metropolis, hsbp::sbp::Variant::Hybrid}, options);
+
+  hsbp::eval::print_speedup_table(rows, std::cout);
+  std::cout << "paper shape: H-SBP >= 1x on all graphs except barth5; "
+               "overall speedup 0.5x (barth5) to 4.2x (higgs-twitter).\n";
+  hsbp::bench::maybe_write_csv(options, rows);
+  return 0;
+}

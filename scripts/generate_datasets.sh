@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Emits the Table-1 synthetic suite and the Table-2 real-world
+# surrogates as Matrix Market files + ground-truth TSVs — the
+# counterpart of the paper artifact's dataset-generation script.
+#
+# Usage: scripts/generate_datasets.sh [BUILD_DIR] [SCALE] [OUTDIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${2:-0.01}"
+OUTDIR="${3:-generated_graphs}"
+
+"$BUILD_DIR/examples/generate_graphs" --suite both --scale "$SCALE" \
+  --outdir "$OUTDIR"
+echo "datasets written to $OUTDIR/"

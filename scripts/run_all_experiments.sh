@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Reproduces every table/figure of the paper at the chosen scale and
+# collects outputs under results/. Mirrors the artifact's scripts/
+# directory described in the paper's Appendix B.
+#
+# Usage: scripts/run_all_experiments.sh [BUILD_DIR] [SCALE] [RUNS]
+#   BUILD_DIR  cmake build directory (default: build)
+#   SCALE      dataset scale vs the paper, 0 < s <= 1 (default: bench
+#              defaults — laptop-friendly; the paper effectively ran 1.0
+#              on a 128-core node)
+#   RUNS       best-of-K runs per (graph, algorithm) (paper: 5)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${2:-}"
+RUNS="${3:-}"
+OUT_DIR="results"
+mkdir -p "$OUT_DIR"
+
+FLAGS=()
+[[ -n "$SCALE" ]] && FLAGS+=(--scale "$SCALE")
+[[ -n "$RUNS" ]] && FLAGS+=(--runs "$RUNS")
+
+BENCHES=(
+  table1_synthetic_suite
+  table2_realworld_suite
+  fig2_phase_breakdown
+  fig3_metric_correlation
+  fig4a_synthetic_nmi
+  fig4b_synthetic_speedup
+  fig5_realworld_quality
+  fig6_realworld_speedup
+  fig7_strong_scaling
+  fig8_mcmc_iterations
+  ablation_hybrid_fraction
+  ablation_influence
+  ablation_batch_count
+  ablation_threshold
+  ablation_selection
+)
+
+for bench in "${BENCHES[@]}"; do
+  binary="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$binary" ]]; then
+    echo "skipping $bench (not built)" >&2
+    continue
+  fi
+  echo "== $bench =="
+  "$binary" "${FLAGS[@]}" | tee "$OUT_DIR/$bench.txt"
+done
+
+echo "micro benches =="
+"$BUILD_DIR/bench/bm_kernels" --benchmark_min_time=0.05s \
+  | tee "$OUT_DIR/bm_kernels.txt"
+
+echo
+echo "all outputs in $OUT_DIR/"

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite.
+# Usage: scripts/run_tests.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure

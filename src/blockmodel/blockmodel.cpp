@@ -1,0 +1,171 @@
+#include "blockmodel/blockmodel.hpp"
+
+#include <omp.h>
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace hsbp::blockmodel {
+
+using graph::Graph;
+using graph::Vertex;
+
+Blockmodel Blockmodel::from_assignment(const Graph& graph,
+                                       std::span<const std::int32_t> assignment,
+                                       BlockId num_blocks) {
+  if (assignment.size() != static_cast<std::size_t>(graph.num_vertices())) {
+    throw std::invalid_argument("Blockmodel: assignment size " +
+                                std::to_string(assignment.size()) +
+                                " != vertex count " +
+                                std::to_string(graph.num_vertices()));
+  }
+  for (const std::int32_t label : assignment) {
+    if (label < 0 || label >= num_blocks) {
+      throw std::invalid_argument("Blockmodel: label " +
+                                  std::to_string(label) +
+                                  " outside [0, " +
+                                  std::to_string(num_blocks) + ")");
+    }
+  }
+  Blockmodel b;
+  b.num_blocks_ = num_blocks;
+  b.assignment_.assign(assignment.begin(), assignment.end());
+  b.build_from(graph);
+  return b;
+}
+
+Blockmodel Blockmodel::identity(const Graph& graph) {
+  std::vector<std::int32_t> assignment(
+      static_cast<std::size_t>(graph.num_vertices()));
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    assignment[v] = static_cast<std::int32_t>(v);
+  }
+  return from_assignment(graph, assignment, graph.num_vertices());
+}
+
+void Blockmodel::build_from(const Graph& graph) {
+  const auto blocks = static_cast<std::size_t>(num_blocks_);
+  m_ = DictTransposeMatrix(num_blocks_);
+  d_out_.assign(blocks, 0);
+  d_in_.assign(blocks, 0);
+  block_sizes_.assign(blocks, 0);
+
+  for (const std::int32_t label : assignment_) {
+    ++block_sizes_[static_cast<std::size_t>(label)];
+  }
+
+  // Parallel accumulation: each thread gathers (block pair → count) into
+  // a local flat map over its vertex range, then maps merge serially
+  // into the shared matrix (merge cost is O(distinct pairs), far below
+  // O(E) once blocks are coarse).
+  const Vertex v_count = graph.num_vertices();
+  const int threads = omp_get_max_threads();
+  std::vector<std::unordered_map<std::uint64_t, Count>> locals(
+      static_cast<std::size_t>(threads));
+
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    auto& local = locals[tid];
+#pragma omp for schedule(static)
+    for (Vertex v = 0; v < v_count; ++v) {
+      const auto src_block = static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(assignment_[static_cast<std::size_t>(v)]));
+      for (const Vertex target : graph.out_neighbors(v)) {
+        const auto dst_block = static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(
+                assignment_[static_cast<std::size_t>(target)]));
+        ++local[(src_block << 32) | dst_block];
+      }
+    }
+  }
+
+  for (const auto& local : locals) {
+    for (const auto& [key, count] : local) {
+      const auto row = static_cast<BlockId>(key >> 32);
+      const auto col = static_cast<BlockId>(key & 0xffffffffULL);
+      m_.add(row, col, count);
+    }
+  }
+
+  for (BlockId r = 0; r < num_blocks_; ++r) {
+    for (const auto& [col, count] : m_.row(r)) {
+      (void)col;
+      d_out_[static_cast<std::size_t>(r)] += count;
+    }
+    for (const auto& [row, count] : m_.col(r)) {
+      (void)row;
+      d_in_[static_cast<std::size_t>(r)] += count;
+    }
+  }
+}
+
+void Blockmodel::move_vertex(const Graph& graph, Vertex v, BlockId to) {
+  const BlockId from = assignment_[static_cast<std::size_t>(v)];
+  if (from == to) return;
+  assert(to >= 0 && to < num_blocks_);
+
+  // Each edge incident on v is touched exactly once: out-edges cover the
+  // self-loop case (v, v); in-edges skip u == v to avoid double counting.
+  for (const Vertex u : graph.out_neighbors(v)) {
+    const BlockId ub = (u == v) ? from : assignment_[static_cast<std::size_t>(u)];
+    m_.add(from, ub, -1);
+  }
+  for (const Vertex u : graph.in_neighbors(v)) {
+    if (u == v) continue;
+    m_.add(assignment_[static_cast<std::size_t>(u)], from, -1);
+  }
+
+  assignment_[static_cast<std::size_t>(v)] = to;
+
+  for (const Vertex u : graph.out_neighbors(v)) {
+    const BlockId ub = (u == v) ? to : assignment_[static_cast<std::size_t>(u)];
+    m_.add(to, ub, +1);
+  }
+  for (const Vertex u : graph.in_neighbors(v)) {
+    if (u == v) continue;
+    m_.add(assignment_[static_cast<std::size_t>(u)], to, +1);
+  }
+
+  const Count out_deg = graph.out_degree(v);
+  const Count in_deg = graph.in_degree(v);
+  d_out_[static_cast<std::size_t>(from)] -= out_deg;
+  d_out_[static_cast<std::size_t>(to)] += out_deg;
+  d_in_[static_cast<std::size_t>(from)] -= in_deg;
+  d_in_[static_cast<std::size_t>(to)] += in_deg;
+  --block_sizes_[static_cast<std::size_t>(from)];
+  ++block_sizes_[static_cast<std::size_t>(to)];
+}
+
+void Blockmodel::rebuild(const Graph& graph,
+                         std::span<const std::int32_t> assignment) {
+  assert(assignment.size() == static_cast<std::size_t>(graph.num_vertices()));
+  assignment_.assign(assignment.begin(), assignment.end());
+  build_from(graph);
+}
+
+bool Blockmodel::check_consistency(const Graph& graph) const {
+  if (!m_.check_consistency()) return false;
+  Blockmodel fresh = from_assignment(graph, assignment_, num_blocks_);
+  if (fresh.m_.total() != m_.total()) return false;
+  for (BlockId r = 0; r < num_blocks_; ++r) {
+    if (fresh.d_out_[static_cast<std::size_t>(r)] !=
+            d_out_[static_cast<std::size_t>(r)] ||
+        fresh.d_in_[static_cast<std::size_t>(r)] !=
+            d_in_[static_cast<std::size_t>(r)] ||
+        fresh.block_sizes_[static_cast<std::size_t>(r)] !=
+            block_sizes_[static_cast<std::size_t>(r)]) {
+      return false;
+    }
+    for (const auto& [col, value] : fresh.m_.row(r)) {
+      if (m_.get(r, col) != value) return false;
+    }
+    for (const auto& [col, value] : m_.row(r)) {
+      if (fresh.m_.get(r, col) != value) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hsbp::blockmodel

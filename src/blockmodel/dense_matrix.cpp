@@ -1,0 +1,54 @@
+#include "blockmodel/dense_matrix.hpp"
+
+namespace hsbp::blockmodel {
+
+DenseMatrix DenseMatrix::from_sparse(const DictTransposeMatrix& source) {
+  DenseMatrix dense(source.size());
+  for (BlockId r = 0; r < source.size(); ++r) {
+    for (const auto& [col, value] : source.row(r)) {
+      dense.add(r, col, value);
+    }
+  }
+  return dense;
+}
+
+DictTransposeMatrix DenseMatrix::to_sparse() const {
+  DictTransposeMatrix sparse(size_);
+  for (BlockId r = 0; r < size_; ++r) {
+    for (BlockId c = 0; c < size_; ++c) {
+      const Count value = get(r, c);
+      if (value != 0) sparse.add(r, c, value);
+    }
+  }
+  return sparse;
+}
+
+Count DenseMatrix::row_sum(BlockId row) const noexcept {
+  Count sum = 0;
+  for (BlockId c = 0; c < size_; ++c) sum += get(row, c);
+  return sum;
+}
+
+Count DenseMatrix::col_sum(BlockId col) const noexcept {
+  Count sum = 0;
+  for (BlockId r = 0; r < size_; ++r) sum += get(r, col);
+  return sum;
+}
+
+std::size_t DenseMatrix::nonzeros() const noexcept {
+  std::size_t count = 0;
+  for (const Count value : cells_) count += (value != 0);
+  return count;
+}
+
+bool DenseMatrix::equals(const DictTransposeMatrix& other) const {
+  if (other.size() != size_) return false;
+  for (BlockId r = 0; r < size_; ++r) {
+    for (BlockId c = 0; c < size_; ++c) {
+      if (get(r, c) != other.get(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hsbp::blockmodel

@@ -1,0 +1,70 @@
+/// \file dense_matrix.hpp
+/// \brief Dense C×C edge-count matrix — the alternative backend the
+/// paper's future-work discussion motivates ("data structures that are
+/// more suited to repeated reconstruction").
+///
+/// DictTransposeMatrix wins when C is huge (the early iterations, where
+/// C starts at V), but once the golden search has contracted to a few
+/// hundred blocks a flat array rebuilds with perfect locality and no
+/// hashing. This class implements the same cell-level API so the two
+/// can be compared head-to-head (bench/bm_kernels) and swapped in
+/// future blockmodel work; conversion helpers bridge the two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blockmodel/dict_transpose_matrix.hpp"
+
+namespace hsbp::blockmodel {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(BlockId size)
+      : size_(size),
+        cells_(static_cast<std::size_t>(size) *
+               static_cast<std::size_t>(size)) {}
+
+  /// Materializes a sparse matrix densely. \pre source fits in memory
+  /// (C² cells).
+  static DenseMatrix from_sparse(const DictTransposeMatrix& source);
+
+  /// Converts back to the sparse representation (zero cells dropped).
+  DictTransposeMatrix to_sparse() const;
+
+  BlockId size() const noexcept { return size_; }
+
+  Count get(BlockId row, BlockId col) const noexcept {
+    return cells_[index(row, col)];
+  }
+
+  void add(BlockId row, BlockId col, Count delta) noexcept {
+    cells_[index(row, col)] += delta;
+    total_ += delta;
+  }
+
+  Count total() const noexcept { return total_; }
+
+  /// Row/column sums (block out-/in-degrees when the matrix holds the
+  /// full blockmodel).
+  Count row_sum(BlockId row) const noexcept;
+  Count col_sum(BlockId col) const noexcept;
+
+  std::size_t nonzeros() const noexcept;
+
+  /// Equality against a sparse matrix, for tests.
+  bool equals(const DictTransposeMatrix& other) const;
+
+ private:
+  std::size_t index(BlockId row, BlockId col) const noexcept {
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(size_) +
+           static_cast<std::size_t>(col);
+  }
+
+  BlockId size_ = 0;
+  std::vector<Count> cells_;
+  Count total_ = 0;
+};
+
+}  // namespace hsbp::blockmodel

@@ -1,0 +1,74 @@
+/// \file dict_transpose_matrix.hpp
+/// \brief Sparse C×C inter-block edge-count matrix with O(nnz) row *and*
+/// column slices.
+///
+/// Every SBP kernel needs both row r (out-edges of block r) and column r
+/// (in-edges of block r): proposals draw from row+column of a block,
+/// ΔMDL touches two rows and two columns, merges fold a row+column into
+/// another. CSR can't give cheap column access and a dense matrix is
+/// impossible at C = V (the initial state), so the matrix keeps both a
+/// row-map and a column-map ("dict" + "transpose dict"), the structure
+/// the reference SBP implementations call DictTransposeMatrix.
+///
+/// Invariants (checked by check_consistency() in tests):
+///   - rows_[r][s] == cols_[s][r] for every stored cell,
+///   - no zero-valued entries are stored,
+///   - total() equals the sum of all cells.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hsbp::blockmodel {
+
+using BlockId = std::int32_t;
+using Count = std::int64_t;
+
+/// One sparse row or column: block id → edge count.
+using SparseSlice = std::unordered_map<BlockId, Count>;
+
+class DictTransposeMatrix {
+ public:
+  DictTransposeMatrix() = default;
+  explicit DictTransposeMatrix(BlockId size)
+      : rows_(static_cast<std::size_t>(size)),
+        cols_(static_cast<std::size_t>(size)) {}
+
+  BlockId size() const noexcept { return static_cast<BlockId>(rows_.size()); }
+
+  /// Cell value; absent cells are 0.
+  Count get(BlockId row, BlockId col) const noexcept {
+    const auto& slice = rows_[static_cast<std::size_t>(row)];
+    const auto it = slice.find(col);
+    return it == slice.end() ? 0 : it->second;
+  }
+
+  /// Adds `delta` to cell (row, col); erases the cell if it reaches zero.
+  /// \pre resulting value must be >= 0 (asserted).
+  void add(BlockId row, BlockId col, Count delta);
+
+  const SparseSlice& row(BlockId r) const noexcept {
+    return rows_[static_cast<std::size_t>(r)];
+  }
+  const SparseSlice& col(BlockId c) const noexcept {
+    return cols_[static_cast<std::size_t>(c)];
+  }
+
+  /// Sum of all cells (maintained incrementally).
+  Count total() const noexcept { return total_; }
+
+  /// Number of stored nonzero cells.
+  std::size_t nonzeros() const noexcept;
+
+  /// Verifies the row/column mirror and non-negativity invariants;
+  /// returns false (and logs nothing) on violation. O(nnz).
+  bool check_consistency() const;
+
+ private:
+  std::vector<SparseSlice> rows_;
+  std::vector<SparseSlice> cols_;
+  Count total_ = 0;
+};
+
+}  // namespace hsbp::blockmodel

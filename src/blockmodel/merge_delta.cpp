@@ -1,0 +1,62 @@
+#include "blockmodel/merge_delta.hpp"
+
+#include <cassert>
+
+#include "blockmodel/mdl.hpp"
+
+namespace hsbp::blockmodel {
+
+double merge_delta_mdl(const Blockmodel& b, BlockId from, BlockId to,
+                       graph::Vertex num_vertices,
+                       graph::EdgeCount num_edges) {
+  assert(from != to);
+  const DictTransposeMatrix& m = b.matrix();
+
+  double delta_cells = 0.0;
+
+  // Off-corner cells of row `from` fold into row `to`.
+  for (const auto& [t, value] : m.row(from)) {
+    if (t == from || t == to) continue;
+    const Count existing = m.get(to, t);
+    delta_cells += xlogx(static_cast<double>(existing + value)) -
+                   xlogx(static_cast<double>(existing)) -
+                   xlogx(static_cast<double>(value));
+  }
+  // Off-corner cells of column `from` fold into column `to`.
+  for (const auto& [t, value] : m.col(from)) {
+    if (t == from || t == to) continue;
+    const Count existing = m.get(t, to);
+    delta_cells += xlogx(static_cast<double>(existing + value)) -
+                   xlogx(static_cast<double>(existing)) -
+                   xlogx(static_cast<double>(value));
+  }
+  // The four corner cells collapse into (to, to).
+  const Count ff = m.get(from, from);
+  const Count ft = m.get(from, to);
+  const Count tf = m.get(to, from);
+  const Count tt = m.get(to, to);
+  delta_cells += xlogx(static_cast<double>(tt + ff + ft + tf)) -
+                 xlogx(static_cast<double>(tt)) -
+                 xlogx(static_cast<double>(ff)) -
+                 xlogx(static_cast<double>(ft)) -
+                 xlogx(static_cast<double>(tf));
+
+  // Degree terms: d(to) absorbs d(from).
+  const auto merge_degrees = [](Count a, Count into) {
+    return xlogx(static_cast<double>(into + a)) -
+           xlogx(static_cast<double>(into)) - xlogx(static_cast<double>(a));
+  };
+  const double delta_degrees =
+      merge_degrees(b.degree_out(from), b.degree_out(to)) +
+      merge_degrees(b.degree_in(from), b.degree_in(to));
+
+  const double delta_likelihood = delta_cells - delta_degrees;
+
+  const double delta_model =
+      model_description_length(num_vertices, num_edges, b.num_blocks() - 1) -
+      model_description_length(num_vertices, num_edges, b.num_blocks());
+
+  return delta_model - delta_likelihood;
+}
+
+}  // namespace hsbp::blockmodel

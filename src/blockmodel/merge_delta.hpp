@@ -1,0 +1,20 @@
+/// \file merge_delta.hpp
+/// \brief ΔMDL of merging one block into another — the kernel of the
+/// block-merge phase (paper Alg. 1: "Calculate ΔMDL when c is merged
+/// with c'").
+#pragma once
+
+#include "blockmodel/blockmodel.hpp"
+#include "graph/graph.hpp"
+
+namespace hsbp::blockmodel {
+
+/// ΔMDL of relabeling every vertex of block `from` into block `to`,
+/// computed from the current blockmodel in O(nnz(row from) +
+/// nnz(col from)). Includes the model-complexity change from C → C−1
+/// (E·h and V·log C terms), so the value is an exact MDL difference.
+/// \pre from != to.
+double merge_delta_mdl(const Blockmodel& b, BlockId from, BlockId to,
+                       graph::Vertex num_vertices, graph::EdgeCount num_edges);
+
+}  // namespace hsbp::blockmodel

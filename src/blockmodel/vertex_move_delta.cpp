@@ -1,0 +1,88 @@
+#include "blockmodel/vertex_move_delta.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "blockmodel/mdl.hpp"
+
+namespace hsbp::blockmodel {
+
+NeighborBlockCounts gather_neighbor_blocks(
+    const graph::Graph& graph, std::span<const std::int32_t> assignment,
+    graph::Vertex v) {
+  return gather_neighbor_blocks_view(
+      graph,
+      [assignment](graph::Vertex u) {
+        return assignment[static_cast<std::size_t>(u)];
+      },
+      v);
+}
+
+Count MoveDelta::new_value(const Blockmodel& b, BlockId row,
+                           BlockId col) const {
+  Count value = b.matrix().get(row, col);
+  for (const CellDelta& cd : cell_deltas) {
+    if (cd.row == row && cd.col == col) value += cd.delta;
+  }
+  return value;
+}
+
+MoveDelta vertex_move_delta(const Blockmodel& b, BlockId from, BlockId to,
+                            const NeighborBlockCounts& nb) {
+  assert(from != to);
+  MoveDelta result;
+  auto& cells = result.cell_deltas;
+  cells.reserve(2 * (nb.out.size() + nb.in.size()) + 4);
+
+  const auto add_cell = [&cells](BlockId row, BlockId col, Count delta) {
+    for (CellDelta& cd : cells) {
+      if (cd.row == row && cd.col == col) {
+        cd.delta += delta;
+        return;
+      }
+    }
+    cells.push_back({row, col, delta});
+  };
+
+  // Out-edges v→u (u keeps its block t): (from,t) loses, (to,t) gains.
+  for (const auto& [t, k] : nb.out) {
+    add_cell(from, t, -k);
+    add_cell(to, t, +k);
+  }
+  // In-edges u→v: (t,from) loses, (t,to) gains.
+  for (const auto& [t, k] : nb.in) {
+    add_cell(t, from, -k);
+    add_cell(t, to, +k);
+  }
+  // Self-loops move diagonally.
+  if (nb.self_loops > 0) {
+    add_cell(from, from, -nb.self_loops);
+    add_cell(to, to, +nb.self_loops);
+  }
+
+  double delta_cells = 0.0;
+  for (const CellDelta& cd : cells) {
+    if (cd.delta == 0) continue;
+    const Count old_value = b.matrix().get(cd.row, cd.col);
+    const Count new_value = old_value + cd.delta;
+    assert(new_value >= 0);
+    delta_cells += xlogx(static_cast<double>(new_value)) -
+                   xlogx(static_cast<double>(old_value));
+  }
+
+  const auto degree_delta = [](Count before_from, Count before_to, Count k) {
+    return xlogx(static_cast<double>(before_from - k)) -
+           xlogx(static_cast<double>(before_from)) +
+           xlogx(static_cast<double>(before_to + k)) -
+           xlogx(static_cast<double>(before_to));
+  };
+  const double delta_degrees =
+      degree_delta(b.degree_out(from), b.degree_out(to), nb.degree_out) +
+      degree_delta(b.degree_in(from), b.degree_in(to), nb.degree_in);
+
+  // ΔL = Δcells − Δdegrees; ΔMDL = −ΔL (model term unchanged).
+  result.delta_mdl = -(delta_cells - delta_degrees);
+  return result;
+}
+
+}  // namespace hsbp::blockmodel

@@ -1,0 +1,103 @@
+/// \file vertex_move_delta.hpp
+/// \brief O(deg(v)) ΔMDL computation for a proposed vertex move — the
+/// inner kernel of every MCMC phase (paper Algs. 2–4: "compute AMDL for
+/// proposed move").
+///
+/// Uses the decomposition L = Σ xlogx(M_rs) − Σ xlogx(d_out) − Σ
+/// xlogx(d_in): a move r→s changes only cells in rows/columns r and s
+/// whose partner block is a neighbor block of v, plus the four degree
+/// entries. The model-complexity term of the MDL is unchanged because
+/// vertex moves never change the number of blocks (moves that would
+/// empty a block are rejected upstream).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+
+namespace hsbp::blockmodel {
+
+/// Edge counts from a vertex to each adjacent block, gathered under a
+/// given membership vector. The membership is passed explicitly because
+/// A-SBP evaluates moves against a *stale* assignment (paper Alg. 3).
+struct NeighborBlockCounts {
+  /// Distinct (block, multiplicity) for out-edges v→u, u != v.
+  std::vector<std::pair<BlockId, Count>> out;
+  /// Distinct (block, multiplicity) for in-edges u→v, u != v.
+  std::vector<std::pair<BlockId, Count>> in;
+  Count self_loops = 0;   ///< multiplicity of edge (v, v)
+  Count degree_out = 0;   ///< out-degree of v including self-loops
+  Count degree_in = 0;    ///< in-degree of v including self-loops
+
+  Count degree_total() const noexcept { return degree_out + degree_in; }
+};
+
+/// Gathers neighbor-block counts reading memberships through `view`,
+/// a callable Vertex → BlockId. This is the A-SBP hook: the async phase
+/// passes a view over an atomically-updated shared membership vector,
+/// the serial phases a view over the blockmodel's own assignment.
+template <typename View>
+NeighborBlockCounts gather_neighbor_blocks_view(const graph::Graph& graph,
+                                                const View& view,
+                                                graph::Vertex v) {
+  const auto accumulate = [](std::vector<std::pair<BlockId, Count>>& counts,
+                             BlockId block) {
+    for (auto& [b, c] : counts) {
+      if (b == block) {
+        ++c;
+        return;
+      }
+    }
+    counts.emplace_back(block, 1);
+  };
+
+  NeighborBlockCounts nb;
+  nb.degree_out = graph.out_degree(v);
+  nb.degree_in = graph.in_degree(v);
+  nb.out.reserve(8);
+  nb.in.reserve(8);
+  for (const graph::Vertex u : graph.out_neighbors(v)) {
+    if (u == v) {
+      ++nb.self_loops;
+      continue;
+    }
+    accumulate(nb.out, view(u));
+  }
+  for (const graph::Vertex u : graph.in_neighbors(v)) {
+    if (u == v) continue;  // counted once via the out pass
+    accumulate(nb.in, view(u));
+  }
+  return nb;
+}
+
+NeighborBlockCounts gather_neighbor_blocks(
+    const graph::Graph& graph, std::span<const std::int32_t> assignment,
+    graph::Vertex v);
+
+/// A changed cell of M: (row, col, additive delta).
+struct CellDelta {
+  BlockId row;
+  BlockId col;
+  Count delta;
+};
+
+/// Result of evaluating a move. `cell_deltas` lists every changed cell
+/// exactly once (consumed by the Hastings correction, which needs
+/// post-move matrix values without applying the move).
+struct MoveDelta {
+  double delta_mdl = 0.0;
+  std::vector<CellDelta> cell_deltas;
+
+  /// Post-move value of cell (row, col) given the pre-move blockmodel.
+  Count new_value(const Blockmodel& b, BlockId row, BlockId col) const;
+};
+
+/// ΔMDL of moving v from `from` to `to`. \pre from != to; `nb` gathered
+/// under the same assignment the blockmodel's M corresponds to.
+MoveDelta vertex_move_delta(const Blockmodel& b, BlockId from, BlockId to,
+                            const NeighborBlockCounts& nb);
+
+}  // namespace hsbp::blockmodel

@@ -1,0 +1,22 @@
+#include "dist/comm.hpp"
+
+namespace hsbp::dist {
+
+const char* collective_name(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::AllGatherUpdates: return "allgather-updates";
+    case CollectiveKind::RebuildAllReduce: return "rebuild-allreduce";
+    case CollectiveKind::AssignmentBcast: return "assignment-bcast";
+  }
+  return "?";
+}
+
+std::int64_t CommLedger::bytes_of(CollectiveKind kind) const noexcept {
+  std::int64_t total = 0;
+  for (const auto& record : records_) {
+    if (record.kind == kind) total += record.bytes;
+  }
+  return total;
+}
+
+}  // namespace hsbp::dist

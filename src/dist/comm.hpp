@@ -1,0 +1,66 @@
+/// \file comm.hpp
+/// \brief Communication accounting for the simulated distributed
+/// runtime.
+///
+/// No MPI is available (or needed) here: ranks execute inside one
+/// process and "communication" is staged through explicit buffers. What
+/// the simulation preserves is the *protocol* — which collective runs
+/// when, and how many bytes it would carry — which is exactly the
+/// quantity a real distributed port would be sized by. The ledger
+/// records every collective so benches can report volume per pass and
+/// its scaling with rank count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsbp::dist {
+
+enum class CollectiveKind {
+  AllGatherUpdates,   ///< accepted membership moves, end of each pass
+  RebuildAllReduce,   ///< blockmodel refresh after applying updates
+  AssignmentBcast,    ///< full membership broadcast (merge phases)
+};
+
+const char* collective_name(CollectiveKind kind) noexcept;
+
+struct CollectiveRecord {
+  CollectiveKind kind;
+  std::int64_t bytes = 0;   ///< payload carried across ranks
+  int ranks = 0;
+};
+
+/// Append-only ledger of simulated collectives.
+class CommLedger {
+ public:
+  void record(CollectiveKind kind, std::int64_t bytes, int ranks) {
+    records_.push_back({kind, bytes, ranks});
+    total_bytes_ += bytes;
+  }
+
+  std::int64_t total_bytes() const noexcept { return total_bytes_; }
+  std::size_t collective_count() const noexcept { return records_.size(); }
+
+  /// Total bytes of one collective kind.
+  std::int64_t bytes_of(CollectiveKind kind) const noexcept;
+
+  const std::vector<CollectiveRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<CollectiveRecord> records_;
+  std::int64_t total_bytes_ = 0;
+};
+
+/// Payload-size model (bytes on the wire), kept in one place so the
+/// accounting is auditable:
+///   membership update: vertex id (4) + new block (4)
+///   blockmodel cell:   row (4) + col (4) + count (8)
+///   assignment entry:  block label (4)
+constexpr std::int64_t kUpdateBytes = 8;
+constexpr std::int64_t kCellBytes = 16;
+constexpr std::int64_t kLabelBytes = 4;
+
+}  // namespace hsbp::dist

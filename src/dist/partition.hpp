@@ -1,0 +1,40 @@
+/// \file partition.hpp
+/// \brief Vertex partitioners for the simulated distributed runtime.
+///
+/// Distributing SBP (the paper's final future-work item) starts with
+/// assigning vertices to ranks. Three strategies with different balance
+/// properties:
+///   Range         — contiguous id ranges (cheapest, locality-friendly,
+///                   degree-imbalanced on sorted inputs);
+///   RoundRobin    — v mod R (cheap, decorrelates ids);
+///   DegreeBalanced— greedy longest-processing-time packing by vertex
+///                   degree, the balance the paper's §5.5 load-balancing
+///                   remark asks for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hsbp::dist {
+
+enum class PartitionStrategy { Range, RoundRobin, DegreeBalanced };
+
+const char* strategy_name(PartitionStrategy strategy) noexcept;
+
+struct VertexPartition {
+  int ranks = 0;
+  std::vector<std::int32_t> rank_of;                ///< size V
+  std::vector<std::vector<graph::Vertex>> members;  ///< per rank
+  std::vector<graph::EdgeCount> degree_load;        ///< Σ degree per rank
+
+  /// max load / mean load — 1.0 is perfect balance.
+  double imbalance() const noexcept;
+};
+
+/// Partitions the graph's vertices over `ranks`. \pre ranks >= 1.
+VertexPartition partition_vertices(const graph::Graph& graph, int ranks,
+                                   PartitionStrategy strategy);
+
+}  // namespace hsbp::dist

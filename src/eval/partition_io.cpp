@@ -1,0 +1,88 @@
+#include "eval/partition_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hsbp::eval {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& what) {
+  throw std::runtime_error("assignment file, line " +
+                           std::to_string(line_number) + ": " + what);
+}
+
+}  // namespace
+
+void save_assignment(std::span<const std::int32_t> assignment,
+                     std::ostream& out) {
+  out << "# vertex\tcommunity\n";
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    out << v << '\t' << assignment[v] << '\n';
+  }
+}
+
+void save_assignment_file(std::span<const std::int32_t> assignment,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  save_assignment(assignment, out);
+}
+
+std::vector<std::int32_t> load_assignment(std::istream& in) {
+  std::vector<std::pair<long long, long long>> entries;
+  std::string line;
+  std::size_t line_number = 0;
+  long long max_vertex = -1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    long long vertex = 0, label = 0;
+    if (!(fields >> vertex >> label)) {
+      fail(line_number, "expected 'vertex<TAB>community', got '" + line + "'");
+    }
+    if (vertex < 0) fail(line_number, "negative vertex id");
+    if (label < 0) fail(line_number, "negative community label");
+    constexpr long long kMaxVertex = 2'000'000'000LL;
+    if (vertex > kMaxVertex || label > kMaxVertex) {
+      fail(line_number, "value exceeds 32-bit range");
+    }
+    entries.emplace_back(vertex, label);
+    max_vertex = std::max(max_vertex, vertex);
+  }
+  if (entries.empty()) {
+    throw std::runtime_error("assignment file: no entries");
+  }
+
+  std::vector<std::int32_t> assignment(
+      static_cast<std::size_t>(max_vertex + 1), -1);
+  for (const auto& [vertex, label] : entries) {
+    auto& slot = assignment[static_cast<std::size_t>(vertex)];
+    if (slot >= 0) {
+      throw std::runtime_error("assignment file: duplicate vertex " +
+                               std::to_string(vertex));
+    }
+    slot = static_cast<std::int32_t>(label);
+  }
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    if (assignment[v] < 0) {
+      throw std::runtime_error("assignment file: vertex " +
+                               std::to_string(v) + " missing");
+    }
+  }
+  return assignment;
+}
+
+std::vector<std::int32_t> load_assignment_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "' for reading");
+  }
+  return load_assignment(in);
+}
+
+}  // namespace hsbp::eval

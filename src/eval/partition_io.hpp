@@ -1,0 +1,33 @@
+/// \file partition_io.hpp
+/// \brief Saving/loading community assignments as TSV — the glue
+/// between pipeline stages (detect → score later, stream → resume,
+/// compare against an external tool's output).
+///
+/// Format: optional `#`-comment lines, then one `vertex<TAB>community`
+/// pair per line. Vertices must be the dense range [0, V) (any order);
+/// community labels must be non-negative. Ground-truth files written by
+/// generate_graphs use the same format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hsbp::eval {
+
+/// Writes one `v\tlabel` line per vertex with a `# vertex\tcommunity`
+/// header comment.
+void save_assignment(std::span<const std::int32_t> assignment,
+                     std::ostream& out);
+void save_assignment_file(std::span<const std::int32_t> assignment,
+                          const std::string& path);
+
+/// Reads an assignment. Every vertex in [0, max-id] must appear exactly
+/// once. \throws std::runtime_error (with a line number) on malformed,
+/// duplicate, missing, or negative entries.
+std::vector<std::int32_t> load_assignment(std::istream& in);
+std::vector<std::int32_t> load_assignment_file(const std::string& path);
+
+}  // namespace hsbp::eval

@@ -1,0 +1,41 @@
+/// \file report.hpp
+/// \brief Rendering helpers shared by the bench binaries so every
+/// figure/table reproduction prints in the same format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+
+namespace hsbp::eval {
+
+/// Prints quality rows (NMI / MDL_norm / modularity / blocks).
+void print_quality_table(const std::vector<ExperimentRow>& rows,
+                         std::ostream& out);
+
+/// Prints timing rows plus, per graph, the MCMC-phase and overall
+/// speedup of every algorithm relative to the baseline algorithm
+/// (first algorithm name encountered for that graph, normally "SBP").
+void print_speedup_table(const std::vector<ExperimentRow>& rows,
+                         std::ostream& out);
+
+/// Prints MCMC iteration counts per graph × algorithm (paper Fig. 8).
+void print_iteration_table(const std::vector<ExperimentRow>& rows,
+                           std::ostream& out);
+
+/// Standard bench banner with the environment facts a reader needs to
+/// interpret timings (thread count, scale, runs).
+void print_banner(const std::string& title, double scale, int runs,
+                  std::ostream& out);
+
+/// Writes every field of every row as CSV (header + one line per row) —
+/// the machine-readable companion to the ASCII tables, for plotting the
+/// figures outside this harness.
+void write_rows_csv(const std::vector<ExperimentRow>& rows,
+                    std::ostream& out);
+void write_rows_csv_file(const std::vector<ExperimentRow>& rows,
+                         const std::string& path);
+
+}  // namespace hsbp::eval

@@ -1,0 +1,31 @@
+#include "eval/runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hsbp::eval {
+
+BestOfResult best_of(const graph::Graph& graph, sbp::SbpConfig config,
+                     int runs) {
+  if (runs < 1) throw std::invalid_argument("best_of: runs >= 1");
+
+  BestOfResult out;
+  bool have_best = false;
+  const std::uint64_t base_seed = config.seed;
+  for (int run = 0; run < runs; ++run) {
+    config.seed = base_seed + static_cast<std::uint64_t>(run);
+    sbp::SbpResult result = sbp::run(graph, config);
+    out.total_mcmc_seconds += result.stats.mcmc_seconds;
+    out.total_merge_seconds += result.stats.block_merge_seconds;
+    out.total_seconds += result.stats.total_seconds;
+    out.total_mcmc_iterations += result.stats.mcmc_iterations;
+    out.per_run_stats.push_back(result.stats);
+    if (!have_best || result.mdl < out.best.mdl) {
+      out.best = std::move(result);
+      have_best = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace hsbp::eval

@@ -1,0 +1,29 @@
+/// \file runner.hpp
+/// \brief Best-of-N experiment runner: the paper runs every algorithm 5
+/// times per graph and keeps the lowest-MDL result, while *timing*
+/// totals accumulate over all runs (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sbp/sbp.hpp"
+
+namespace hsbp::eval {
+
+struct BestOfResult {
+  sbp::SbpResult best;                       ///< lowest-MDL run
+  std::vector<sbp::SbpStats> per_run_stats;  ///< stats of every run
+  double total_mcmc_seconds = 0.0;           ///< summed over all runs
+  double total_merge_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::int64_t total_mcmc_iterations = 0;
+};
+
+/// Runs `config` `runs` times with seeds config.seed, config.seed+1, …
+/// and keeps the lowest-MDL result. \pre runs >= 1.
+BestOfResult best_of(const graph::Graph& graph, sbp::SbpConfig config,
+                     int runs);
+
+}  // namespace hsbp::eval

@@ -1,0 +1,40 @@
+#include "generator/power_law.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hsbp::generator {
+
+PowerLawSampler::PowerLawSampler(std::int64_t min_value,
+                                 std::int64_t max_value, double exponent)
+    : min_value_(min_value), max_value_(max_value) {
+  if (min_value < 1 || max_value < min_value) {
+    throw std::invalid_argument(
+        "PowerLawSampler: require 1 <= min_value <= max_value");
+  }
+  const auto support = static_cast<std::size_t>(max_value - min_value + 1);
+  cdf_.resize(support);
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < support; ++i) {
+    const double d = static_cast<double>(min_value + static_cast<std::int64_t>(i));
+    const double mass = std::pow(d, -exponent);
+    total += mass;
+    weighted += d * mass;
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+  mean_ = weighted / total;
+}
+
+std::int64_t PowerLawSampler::sample(util::Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto index = static_cast<std::int64_t>(it - cdf_.begin());
+  return min_value_ + std::min<std::int64_t>(
+                          index, max_value_ - min_value_);
+}
+
+}  // namespace hsbp::generator

@@ -1,0 +1,39 @@
+/// \file power_law.hpp
+/// \brief Discrete truncated power-law sampling for vertex degree
+/// propensities (the generator's replacement for graph-tool's degree
+/// sampler).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hsbp::generator {
+
+/// Samples integers d in [min_value, max_value] with P(d) ∝ d^(-exponent).
+/// Backed by a precomputed CDF with binary-search draws, so sampling is
+/// O(log(max-min)) and construction O(max-min).
+class PowerLawSampler {
+ public:
+  /// \pre 1 <= min_value <= max_value; exponent may be any real (0 gives
+  /// the uniform distribution, negatives favour large values).
+  PowerLawSampler(std::int64_t min_value, std::int64_t max_value,
+                  double exponent);
+
+  std::int64_t sample(util::Rng& rng) const noexcept;
+
+  /// Exact distribution mean (for tests and edge budgeting).
+  double mean() const noexcept { return mean_; }
+
+  std::int64_t min_value() const noexcept { return min_value_; }
+  std::int64_t max_value() const noexcept { return max_value_; }
+
+ private:
+  std::int64_t min_value_;
+  std::int64_t max_value_;
+  std::vector<double> cdf_;  // cdf_[i] = P(d <= min_value + i)
+  double mean_ = 0.0;
+};
+
+}  // namespace hsbp::generator

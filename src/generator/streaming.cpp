@@ -1,0 +1,132 @@
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+#include "generator/dcsbm.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::generator {
+
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+StreamingParts edge_sampling_parts(const GeneratedGraph& generated,
+                                   int parts, util::Rng& rng) {
+  std::vector<Edge> edges = generated.graph.edges();
+  // Fisher–Yates over the edge order.
+  for (std::size_t i = edges.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_int(i);
+    std::swap(edges[i - 1], edges[j]);
+  }
+
+  StreamingParts result;
+  result.ground_truth = generated.ground_truth;
+  const std::size_t e_count = edges.size();
+  for (int part = 1; part <= parts; ++part) {
+    const std::size_t upto = e_count * static_cast<std::size_t>(part) /
+                             static_cast<std::size_t>(parts);
+    const std::span<const Edge> slice(edges.data(), upto);
+    result.snapshots.push_back(
+        Graph::from_edges(generated.graph.num_vertices(), slice));
+  }
+  return result;
+}
+
+StreamingParts snowball_parts(const GeneratedGraph& generated, int parts,
+                              util::Rng& rng) {
+  const Graph& g = generated.graph;
+  const auto v_count = static_cast<std::size_t>(g.num_vertices());
+
+  // BFS arrival order over the undirected view, restarting from the
+  // lowest-id unvisited vertex when a component is exhausted; the
+  // first seed is random.
+  std::vector<Vertex> arrival;
+  arrival.reserve(v_count);
+  std::vector<bool> visited(v_count, false);
+  std::deque<Vertex> frontier;
+  const auto push = [&](Vertex v) {
+    if (!visited[static_cast<std::size_t>(v)]) {
+      visited[static_cast<std::size_t>(v)] = true;
+      frontier.push_back(v);
+    }
+  };
+  push(static_cast<Vertex>(rng.uniform_int(v_count)));
+  Vertex scan = 0;
+  while (arrival.size() < v_count) {
+    if (frontier.empty()) {
+      while (visited[static_cast<std::size_t>(scan)]) ++scan;
+      push(scan);
+    }
+    const Vertex v = frontier.front();
+    frontier.pop_front();
+    arrival.push_back(v);
+    for (const Vertex u : g.out_neighbors(v)) push(u);
+    for (const Vertex u : g.in_neighbors(v)) push(u);
+  }
+
+  // Relabel: new id = arrival position.
+  std::vector<Vertex> new_id(v_count);
+  for (std::size_t pos = 0; pos < v_count; ++pos) {
+    new_id[static_cast<std::size_t>(arrival[pos])] =
+        static_cast<Vertex>(pos);
+  }
+
+  std::vector<Edge> relabeled;
+  relabeled.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (const auto& [src, dst] : g.edges()) {
+    relabeled.emplace_back(new_id[static_cast<std::size_t>(src)],
+                           new_id[static_cast<std::size_t>(dst)]);
+  }
+  // Sort by the later endpoint so the prefix for n arrived vertices is
+  // contiguous.
+  std::sort(relabeled.begin(), relabeled.end(),
+            [](const Edge& a, const Edge& b) {
+              return std::max(a.first, a.second) <
+                     std::max(b.first, b.second);
+            });
+
+  StreamingParts result;
+  result.ground_truth.resize(v_count);
+  for (std::size_t v = 0; v < v_count; ++v) {
+    result.ground_truth[static_cast<std::size_t>(new_id[v])] =
+        generated.ground_truth[v];
+  }
+
+  std::size_t edge_cursor = 0;
+  for (int part = 1; part <= parts; ++part) {
+    const auto arrived = static_cast<Vertex>(
+        v_count * static_cast<std::size_t>(part) /
+        static_cast<std::size_t>(parts));
+    while (edge_cursor < relabeled.size() &&
+           std::max(relabeled[edge_cursor].first,
+                    relabeled[edge_cursor].second) < arrived) {
+      ++edge_cursor;
+    }
+    const std::span<const Edge> slice(relabeled.data(), edge_cursor);
+    result.snapshots.push_back(Graph::from_edges(arrived, slice));
+  }
+  return result;
+}
+
+}  // namespace
+
+StreamingParts streaming_snapshots(const GeneratedGraph& generated,
+                                   int parts, StreamingOrder order,
+                                   std::uint64_t seed) {
+  if (parts < 1) {
+    throw std::invalid_argument("streaming_snapshots: parts >= 1");
+  }
+  if (generated.graph.num_vertices() == 0) {
+    throw std::invalid_argument("streaming_snapshots: empty graph");
+  }
+  util::Rng rng(seed);
+  return order == StreamingOrder::EdgeSampling
+             ? edge_sampling_parts(generated, parts, rng)
+             : snowball_parts(generated, parts, rng);
+}
+
+}  // namespace hsbp::generator

@@ -1,0 +1,30 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hsbp::graph {
+
+GraphBuilder& GraphBuilder::add_edge(Vertex source, Vertex target) {
+  if (source < 0 || target < 0) {
+    throw std::invalid_argument("GraphBuilder: negative vertex id in edge (" +
+                                std::to_string(source) + ", " +
+                                std::to_string(target) + ")");
+  }
+  edges_.emplace_back(source, target);
+  num_vertices_ = std::max({num_vertices_, static_cast<Vertex>(source + 1),
+                            static_cast<Vertex>(target + 1)});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::reserve_vertices(Vertex count) {
+  num_vertices_ = std::max(num_vertices_, count);
+  return *this;
+}
+
+Graph GraphBuilder::build() const {
+  return Graph::from_edges(num_vertices_, edges_);
+}
+
+}  // namespace hsbp::graph

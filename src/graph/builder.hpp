@@ -1,0 +1,37 @@
+/// \file builder.hpp
+/// \brief Incremental construction of immutable Graphs.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hsbp::graph {
+
+/// Accumulates edges and produces a Graph. The vertex count grows
+/// automatically to max-endpoint+1 but can also be reserved up front
+/// (isolated trailing vertices are preserved only if reserved).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  explicit GraphBuilder(Vertex num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Adds one directed edge; negative endpoints are rejected.
+  /// \throws std::invalid_argument on negative endpoint.
+  GraphBuilder& add_edge(Vertex source, Vertex target);
+
+  /// Ensures at least `count` vertices exist in the built graph.
+  GraphBuilder& reserve_vertices(Vertex count);
+
+  Vertex num_vertices() const noexcept { return num_vertices_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Builds the CSR graph. The builder remains usable afterwards.
+  Graph build() const;
+
+ private:
+  Vertex num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace hsbp::graph

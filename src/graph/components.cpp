@@ -1,0 +1,70 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace hsbp::graph {
+
+ComponentInfo weakly_connected_components(const Graph& graph) {
+  ComponentInfo info;
+  const auto v_count = static_cast<std::size_t>(graph.num_vertices());
+  info.component_of.assign(v_count, -1);
+
+  std::deque<Vertex> frontier;
+  for (Vertex start = 0; start < graph.num_vertices(); ++start) {
+    if (info.component_of[static_cast<std::size_t>(start)] >= 0) continue;
+    const std::int32_t id = info.count++;
+    info.sizes.push_back(0);
+    frontier.push_back(start);
+    info.component_of[static_cast<std::size_t>(start)] = id;
+    while (!frontier.empty()) {
+      const Vertex v = frontier.front();
+      frontier.pop_front();
+      ++info.sizes[static_cast<std::size_t>(id)];
+      const auto visit = [&](Vertex u) {
+        auto& mark = info.component_of[static_cast<std::size_t>(u)];
+        if (mark < 0) {
+          mark = id;
+          frontier.push_back(u);
+        }
+      };
+      for (const Vertex u : graph.out_neighbors(v)) visit(u);
+      for (const Vertex u : graph.in_neighbors(v)) visit(u);
+    }
+  }
+
+  if (info.count > 0) {
+    info.largest = static_cast<std::int32_t>(
+        std::max_element(info.sizes.begin(), info.sizes.end()) -
+        info.sizes.begin());
+  }
+  return info;
+}
+
+Subgraph extract_component(const Graph& graph, const ComponentInfo& info,
+                           std::int32_t component) {
+  assert(component >= 0 && component < info.count);
+  Subgraph out;
+  std::vector<Vertex> new_id(static_cast<std::size_t>(graph.num_vertices()),
+                             -1);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    if (info.component_of[static_cast<std::size_t>(v)] == component) {
+      new_id[static_cast<std::size_t>(v)] =
+          static_cast<Vertex>(out.original_ids.size());
+      out.original_ids.push_back(v);
+    }
+  }
+  std::vector<Edge> edges;
+  for (const Vertex v : out.original_ids) {
+    for (const Vertex u : graph.out_neighbors(v)) {
+      edges.emplace_back(new_id[static_cast<std::size_t>(v)],
+                         new_id[static_cast<std::size_t>(u)]);
+    }
+  }
+  out.graph = Graph::from_edges(
+      static_cast<Vertex>(out.original_ids.size()), edges);
+  return out;
+}
+
+}  // namespace hsbp::graph

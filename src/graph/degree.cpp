@@ -1,0 +1,58 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hsbp::graph {
+
+std::vector<EdgeCount> degree_sequence(const Graph& graph) {
+  std::vector<EdgeCount> degrees(static_cast<std::size_t>(graph.num_vertices()));
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    degrees[static_cast<std::size_t>(v)] = graph.degree(v);
+  }
+  return degrees;
+}
+
+std::vector<Vertex> vertices_by_degree_desc(const Graph& graph) {
+  std::vector<Vertex> order(static_cast<std::size_t>(graph.num_vertices()));
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    const EdgeCount da = graph.degree(a);
+    const EdgeCount db = graph.degree(b);
+    return da != db ? da > db : a < b;
+  });
+  return order;
+}
+
+DegreeSplit split_by_degree(const Graph& graph, double fraction) {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  const auto order = vertices_by_degree_desc(graph);
+  const auto high_count = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(order.size())));
+  DegreeSplit split;
+  split.high.assign(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(high_count));
+  split.low.assign(order.begin() + static_cast<std::ptrdiff_t>(high_count),
+                   order.end());
+  return split;
+}
+
+double powerlaw_exponent_mle(const std::vector<EdgeCount>& degrees,
+                             EdgeCount d_min) {
+  assert(d_min >= 1);
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  const double shifted_min = static_cast<double>(d_min) - 0.5;
+  for (EdgeCount d : degrees) {
+    if (d < d_min) continue;
+    log_sum += std::log(static_cast<double>(d) / shifted_min);
+    ++n;
+  }
+  if (n < 2 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+}  // namespace hsbp::graph

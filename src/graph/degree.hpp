@@ -1,0 +1,40 @@
+/// \file degree.hpp
+/// \brief Degree-sequence utilities.
+///
+/// H-SBP's vertex partition (paper §3.2) is driven entirely by total
+/// degree: the top fraction of vertices by degree is processed serially.
+/// These helpers also back the generator tests (power-law exponent
+/// estimation) and the bench harness's dataset summaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hsbp::graph {
+
+/// Total degree (out + in) of every vertex.
+std::vector<EdgeCount> degree_sequence(const Graph& graph);
+
+/// Vertex ids sorted by total degree, descending; ties broken by vertex
+/// id ascending so the order is deterministic.
+std::vector<Vertex> vertices_by_degree_desc(const Graph& graph);
+
+/// Splits vertices into (high, low) by the given high-degree fraction:
+/// the first ceil(fraction * V) vertices of vertices_by_degree_desc.
+/// \pre 0 <= fraction <= 1.
+struct DegreeSplit {
+  std::vector<Vertex> high;  ///< processed serially by H-SBP
+  std::vector<Vertex> low;   ///< processed asynchronously
+};
+DegreeSplit split_by_degree(const Graph& graph, double fraction);
+
+/// Maximum-likelihood estimate of the power-law exponent of the degree
+/// sequence (Clauset et al. 2009, discrete approximation):
+///   alpha = 1 + n / sum_i ln(d_i / (d_min - 0.5))
+/// over degrees >= d_min. Returns 0 if fewer than 2 qualifying degrees.
+double powerlaw_exponent_mle(const std::vector<EdgeCount>& degrees,
+                             EdgeCount d_min);
+
+}  // namespace hsbp::graph

@@ -1,0 +1,56 @@
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hsbp::graph {
+
+Graph Graph::from_edges(Vertex num_vertices, std::span<const Edge> edges) {
+  if (num_vertices < 0) {
+    throw std::invalid_argument("Graph: negative vertex count");
+  }
+  Graph g;
+  const auto v_count = static_cast<std::size_t>(num_vertices);
+  g.out_offsets_.assign(v_count + 1, 0);
+  g.in_offsets_.assign(v_count + 1, 0);
+
+  for (const auto& [src, dst] : edges) {
+    if (src < 0 || src >= num_vertices || dst < 0 || dst >= num_vertices) {
+      throw std::invalid_argument(
+          "Graph: edge (" + std::to_string(src) + ", " + std::to_string(dst) +
+          ") outside vertex range [0, " + std::to_string(num_vertices) + ")");
+    }
+    ++g.out_offsets_[static_cast<std::size_t>(src) + 1];
+    ++g.in_offsets_[static_cast<std::size_t>(dst) + 1];
+    if (src == dst) ++g.self_loops_;
+  }
+  for (std::size_t i = 1; i <= v_count; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+
+  g.out_targets_.resize(edges.size());
+  g.in_sources_.resize(edges.size());
+  std::vector<std::uint64_t> out_cursor(g.out_offsets_.begin(),
+                                        g.out_offsets_.end() - 1);
+  std::vector<std::uint64_t> in_cursor(g.in_offsets_.begin(),
+                                       g.in_offsets_.end() - 1);
+  for (const auto& [src, dst] : edges) {
+    g.out_targets_[out_cursor[static_cast<std::size_t>(src)]++] = dst;
+    g.in_sources_[in_cursor[static_cast<std::size_t>(dst)]++] = src;
+  }
+  return g;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(num_edges()));
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    for (Vertex target : out_neighbors(v)) {
+      out.emplace_back(v, target);
+    }
+  }
+  return out;
+}
+
+}  // namespace hsbp::graph

@@ -1,0 +1,60 @@
+/// \file io.hpp
+/// \brief Graph readers/writers.
+///
+/// Two formats cover the paper's data sources:
+///   - SNAP-style edge lists (whitespace-separated `src dst` lines,
+///     `#`/`%` comments) — the format most SNAP datasets ship in,
+///   - Matrix Market coordinate format — the SuiteSparse Matrix
+///     Collection format used for the paper's 14 real-world graphs.
+///
+/// All readers throw std::runtime_error with a line number on malformed
+/// input; they never silently drop data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace hsbp::graph {
+
+/// How to treat edge weights on input. The paper studies unweighted
+/// graphs (weights ignored); its future-work section proposes weighted
+/// ones, which the microcanonical DCSBM supports naturally by treating
+/// an integer weight w as w parallel edges (Multiplicity).
+enum class WeightHandling {
+  Ignore,        ///< one edge per entry, values dropped (paper setting)
+  Multiplicity,  ///< round(value) parallel edges; values must be >= 1
+};
+
+/// Reads a SNAP-style edge list (`src dst [weight]` per line). Vertex
+/// ids must be non-negative integers; the graph has max-id+1 vertices.
+/// Lines starting with '#' or '%' and blank lines are skipped. The
+/// optional third column is used only under WeightHandling::Multiplicity.
+Graph read_edge_list(std::istream& in,
+                     WeightHandling weights = WeightHandling::Ignore);
+Graph read_edge_list_file(const std::string& path,
+                          WeightHandling weights = WeightHandling::Ignore);
+
+/// Writes one `src\tdst` line per edge, with a `# V E` header comment.
+void write_edge_list(const Graph& graph, std::ostream& out);
+void write_edge_list_file(const Graph& graph, const std::string& path);
+
+/// Reads a Matrix Market `matrix coordinate` file as a directed graph:
+/// entry (i, j) becomes edge i-1 → j-1. `pattern`, `integer`, and `real`
+/// fields are accepted; under WeightHandling::Ignore values are dropped
+/// (the paper's unweighted setting), under Multiplicity they become
+/// parallel-edge counts. `symmetric`/`skew-symmetric` storage emits both
+/// directions for off-diagonal entries. Non-square matrices and
+/// `complex`/`hermitian` fields are rejected.
+Graph read_matrix_market(std::istream& in,
+                         WeightHandling weights = WeightHandling::Ignore);
+Graph read_matrix_market_file(
+    const std::string& path,
+    WeightHandling weights = WeightHandling::Ignore);
+
+/// Writes the graph as `%%MatrixMarket matrix coordinate pattern general`.
+void write_matrix_market(const Graph& graph, std::ostream& out);
+void write_matrix_market_file(const Graph& graph, const std::string& path);
+
+}  // namespace hsbp::graph

@@ -1,0 +1,81 @@
+#include "metrics/contingency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hsbp::metrics {
+
+namespace {
+
+/// Compacts arbitrary non-negative labels to dense [0, k).
+std::vector<std::int32_t> compact(std::span<const std::int32_t> labels,
+                                  std::size_t& num_clusters) {
+  std::unordered_map<std::int32_t, std::int32_t> remap;
+  std::vector<std::int32_t> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      throw std::invalid_argument("ContingencyTable: negative label");
+    }
+    const auto [it, inserted] =
+        remap.try_emplace(labels[i], static_cast<std::int32_t>(remap.size()));
+    out[i] = it->second;
+  }
+  num_clusters = remap.size();
+  return out;
+}
+
+double entropy(const std::vector<std::size_t>& counts, std::size_t total) {
+  double h = 0.0;
+  const double n = static_cast<double>(total);
+  for (const std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+ContingencyTable::ContingencyTable(std::span<const std::int32_t> x,
+                                   std::span<const std::int32_t> y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument(
+        "ContingencyTable: labelings must be non-empty and equal-sized");
+  }
+  total_ = x.size();
+
+  std::size_t kx = 0, ky = 0;
+  const auto cx = compact(x, kx);
+  const auto cy = compact(y, ky);
+  counts_x_.assign(kx, 0);
+  counts_y_.assign(ky, 0);
+  joint_.reserve(std::max(kx, ky) * 2);
+
+  for (std::size_t i = 0; i < total_; ++i) {
+    ++counts_x_[static_cast<std::size_t>(cx[i])];
+    ++counts_y_[static_cast<std::size_t>(cy[i])];
+    const auto key = (static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(cx[i]))
+                      << 32) |
+                     static_cast<std::uint32_t>(cy[i]);
+    ++joint_[key];
+  }
+
+  entropy_x_ = entropy(counts_x_, total_);
+  entropy_y_ = entropy(counts_y_, total_);
+
+  const double n = static_cast<double>(total_);
+  double mi = 0.0;
+  for (const auto& [key, count] : joint_) {
+    const auto cxi = static_cast<std::size_t>(key >> 32);
+    const auto cyi = static_cast<std::size_t>(key & 0xffffffffULL);
+    const double p_joint = static_cast<double>(count) / n;
+    const double p_x = static_cast<double>(counts_x_[cxi]) / n;
+    const double p_y = static_cast<double>(counts_y_[cyi]) / n;
+    mi += p_joint * std::log(p_joint / (p_x * p_y));
+  }
+  mutual_information_ = std::max(0.0, mi);
+}
+
+}  // namespace hsbp::metrics

@@ -1,0 +1,58 @@
+/// \file contingency.hpp
+/// \brief Contingency (confusion) table between two community labelings
+/// — the common substrate of the mutual-information metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace hsbp::metrics {
+
+/// Sparse joint distribution of two labelings over the same vertex set.
+/// Labels may be arbitrary non-negative ints; they are compacted
+/// internally.
+class ContingencyTable {
+ public:
+  /// \pre x.size() == y.size() and both non-empty.
+  /// \throws std::invalid_argument otherwise or on negative labels.
+  ContingencyTable(std::span<const std::int32_t> x,
+                   std::span<const std::int32_t> y);
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t num_clusters_x() const noexcept { return counts_x_.size(); }
+  std::size_t num_clusters_y() const noexcept { return counts_y_.size(); }
+
+  /// Shannon entropies (nats) of the marginals.
+  double entropy_x() const noexcept { return entropy_x_; }
+  double entropy_y() const noexcept { return entropy_y_; }
+
+  /// Mutual information I(X;Y) in nats. Always >= 0 up to rounding.
+  double mutual_information() const noexcept { return mutual_information_; }
+
+  /// Marginal cluster sizes (compacted label order).
+  const std::vector<std::size_t>& counts_x() const noexcept {
+    return counts_x_;
+  }
+  const std::vector<std::size_t>& counts_y() const noexcept {
+    return counts_y_;
+  }
+
+  /// Sparse joint counts keyed by (compact_x << 32 | compact_y).
+  const std::unordered_map<std::uint64_t, std::size_t>& joint()
+      const noexcept {
+    return joint_;
+  }
+
+ private:
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_x_;
+  std::vector<std::size_t> counts_y_;
+  std::unordered_map<std::uint64_t, std::size_t> joint_;
+  double entropy_x_ = 0.0;
+  double entropy_y_ = 0.0;
+  double mutual_information_ = 0.0;
+};
+
+}  // namespace hsbp::metrics

@@ -1,0 +1,37 @@
+/// \file metrics.hpp
+/// \brief The three result-quality metrics of the paper's evaluation:
+/// NMI (synthetic graphs, §4.2), Newman modularity and normalized MDL
+/// (real-world graphs, §4.2 / Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace hsbp::metrics {
+
+/// Normalized mutual information NMI = I(X;Y) / sqrt(H(X)·H(Y)).
+/// Degenerate conventions: both labelings constant → 1 (they agree
+/// perfectly up to relabeling); exactly one constant → 0.
+double nmi(std::span<const std::int32_t> x, std::span<const std::int32_t> y);
+
+/// Newman's modularity for directed graphs:
+///   Q = Σ_r [ M_rr / E − (d_out_r / E) · (d_in_r / E) ]
+/// where M is the inter-community edge-count matrix under `membership`.
+/// \pre membership.size() == V; labels non-negative.
+double modularity(const graph::Graph& graph,
+                  std::span<const std::int32_t> membership);
+
+/// MDL normalized by the structure-less null blockmodel (all vertices in
+/// one community): MDL_norm = MDL / MDL_null. Values near (or above) 1
+/// mean the fit found no more structure than "no communities at all".
+double normalized_mdl(double mdl_value, graph::Vertex num_vertices,
+                      graph::EdgeCount num_edges);
+
+/// Convenience overload: computes the MDL of `membership` on `graph`
+/// first. `num_blocks` = 1 + max label.
+double normalized_mdl(const graph::Graph& graph,
+                      std::span<const std::int32_t> membership);
+
+}  // namespace hsbp::metrics

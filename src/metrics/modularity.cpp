@@ -1,0 +1,45 @@
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace hsbp::metrics {
+
+double modularity(const graph::Graph& graph,
+                  std::span<const std::int32_t> membership) {
+  if (membership.size() != static_cast<std::size_t>(graph.num_vertices())) {
+    throw std::invalid_argument("modularity: membership size != V");
+  }
+  if (graph.num_edges() == 0) return 0.0;
+
+  std::int32_t num_blocks = 0;
+  for (const std::int32_t label : membership) {
+    if (label < 0) throw std::invalid_argument("modularity: negative label");
+    num_blocks = std::max(num_blocks, label + 1);
+  }
+
+  std::vector<double> within(static_cast<std::size_t>(num_blocks), 0.0);
+  std::vector<double> d_out(static_cast<std::size_t>(num_blocks), 0.0);
+  std::vector<double> d_in(static_cast<std::size_t>(num_blocks), 0.0);
+
+  for (graph::Vertex v = 0; v < graph.num_vertices(); ++v) {
+    const auto src = static_cast<std::size_t>(membership[static_cast<std::size_t>(v)]);
+    for (const graph::Vertex u : graph.out_neighbors(v)) {
+      const auto dst =
+          static_cast<std::size_t>(membership[static_cast<std::size_t>(u)]);
+      d_out[src] += 1.0;
+      d_in[dst] += 1.0;
+      if (src == dst) within[src] += 1.0;
+    }
+  }
+
+  const double e = static_cast<double>(graph.num_edges());
+  double q = 0.0;
+  for (std::size_t r = 0; r < within.size(); ++r) {
+    q += within[r] / e - (d_out[r] / e) * (d_in[r] / e);
+  }
+  return q;
+}
+
+}  // namespace hsbp::metrics

@@ -1,0 +1,17 @@
+#include <cmath>
+
+#include "metrics/contingency.hpp"
+#include "metrics/metrics.hpp"
+
+namespace hsbp::metrics {
+
+double nmi(std::span<const std::int32_t> x, std::span<const std::int32_t> y) {
+  const ContingencyTable table(x, y);
+  const double hx = table.entropy_x();
+  const double hy = table.entropy_y();
+  if (hx == 0.0 && hy == 0.0) return 1.0;  // both constant: identical
+  if (hx == 0.0 || hy == 0.0) return 0.0;  // one constant, one not
+  return table.mutual_information() / std::sqrt(hx * hy);
+}
+
+}  // namespace hsbp::metrics

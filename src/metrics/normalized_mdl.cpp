@@ -1,0 +1,32 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/mdl.hpp"
+#include "metrics/metrics.hpp"
+
+namespace hsbp::metrics {
+
+double normalized_mdl(double mdl_value, graph::Vertex num_vertices,
+                      graph::EdgeCount num_edges) {
+  const double null_value = blockmodel::null_mdl(num_vertices, num_edges);
+  if (null_value <= 0.0) {
+    throw std::invalid_argument("normalized_mdl: degenerate null model");
+  }
+  return mdl_value / null_value;
+}
+
+double normalized_mdl(const graph::Graph& graph,
+                      std::span<const std::int32_t> membership) {
+  std::int32_t num_blocks = 0;
+  for (const std::int32_t label : membership) {
+    num_blocks = std::max(num_blocks, label + 1);
+  }
+  const auto b = blockmodel::Blockmodel::from_assignment(graph, membership,
+                                                         num_blocks);
+  const double value =
+      blockmodel::mdl(b, graph.num_vertices(), graph.num_edges());
+  return normalized_mdl(value, graph.num_vertices(), graph.num_edges());
+}
+
+}  // namespace hsbp::metrics

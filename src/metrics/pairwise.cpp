@@ -1,0 +1,65 @@
+#include "metrics/pairwise.hpp"
+
+#include "metrics/contingency.hpp"
+
+namespace hsbp::metrics {
+
+namespace {
+
+/// C(n, 2) as a double (inputs can be ~V so squares need headroom).
+double pairs(double n) noexcept { return n * (n - 1.0) / 2.0; }
+
+struct PairCounts {
+  double joint = 0.0;      ///< pairs together in both labelings
+  double truth = 0.0;      ///< pairs together in the first labeling
+  double predicted = 0.0;  ///< pairs together in the second labeling
+  double total = 0.0;      ///< all C(n, 2) pairs
+};
+
+PairCounts count_pairs(std::span<const std::int32_t> x,
+                       std::span<const std::int32_t> y) {
+  const ContingencyTable table(x, y);
+  PairCounts counts;
+  for (const auto& [key, value] : table.joint()) {
+    (void)key;
+    counts.joint += pairs(static_cast<double>(value));
+  }
+  for (const std::size_t c : table.counts_x()) {
+    counts.truth += pairs(static_cast<double>(c));
+  }
+  for (const std::size_t c : table.counts_y()) {
+    counts.predicted += pairs(static_cast<double>(c));
+  }
+  counts.total = pairs(static_cast<double>(table.total()));
+  return counts;
+}
+
+}  // namespace
+
+double adjusted_rand_index(std::span<const std::int32_t> truth,
+                           std::span<const std::int32_t> predicted) {
+  const PairCounts c = count_pairs(truth, predicted);
+  if (c.total <= 0.0) return 1.0;  // a single element: trivially identical
+  const double expected = c.truth * c.predicted / c.total;
+  const double maximum = 0.5 * (c.truth + c.predicted);
+  const double denominator = maximum - expected;
+  if (denominator == 0.0) {
+    // Both labelings are all-singletons or all-one-cluster: identical
+    // partitions score 1, which is the only way to reach this branch.
+    return 1.0;
+  }
+  return (c.joint - expected) / denominator;
+}
+
+PairwiseScores pairwise_scores(std::span<const std::int32_t> truth,
+                               std::span<const std::int32_t> predicted) {
+  const PairCounts c = count_pairs(truth, predicted);
+  PairwiseScores scores;
+  scores.precision = c.predicted > 0.0 ? c.joint / c.predicted : 1.0;
+  scores.recall = c.truth > 0.0 ? c.joint / c.truth : 1.0;
+  const double sum = scores.precision + scores.recall;
+  scores.f1 = sum > 0.0 ? 2.0 * scores.precision * scores.recall / sum : 0.0;
+  return scores;
+}
+
+}  // namespace hsbp::metrics

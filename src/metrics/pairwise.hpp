@@ -1,0 +1,34 @@
+/// \file pairwise.hpp
+/// \brief Pair-counting community metrics: adjusted Rand index and the
+/// pairwise precision/recall/F1 used by the IEEE HPEC Graph Challenge
+/// evaluation (Kao et al. 2017) that SBP originates from.
+///
+/// All are computed from the contingency table in O(nnz) using the
+/// "pairs" identities: for a cell n_ij, C(n_ij, 2) pairs agree in both
+/// labelings, etc. No O(V²) pair enumeration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hsbp::metrics {
+
+/// Adjusted Rand index between two labelings (1 = identical up to
+/// relabeling, ≈0 = independent, can be negative for adversarial
+/// disagreement). \pre equal-sized, non-empty, non-negative labels.
+double adjusted_rand_index(std::span<const std::int32_t> truth,
+                           std::span<const std::int32_t> predicted);
+
+struct PairwiseScores {
+  double precision = 0.0;  ///< of predicted same-community pairs, how many are truly together
+  double recall = 0.0;     ///< of truly-together pairs, how many predicted together
+  double f1 = 0.0;         ///< harmonic mean
+};
+
+/// Graph Challenge pairwise precision/recall of `predicted` against
+/// `truth`. Degenerate conventions: no positive pairs on either side
+/// scores 1.0 for the corresponding component.
+PairwiseScores pairwise_scores(std::span<const std::int32_t> truth,
+                               std::span<const std::int32_t> predicted);
+
+}  // namespace hsbp::metrics

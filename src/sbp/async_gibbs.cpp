@@ -1,0 +1,51 @@
+#include <numeric>
+
+#include "blockmodel/mdl.hpp"
+#include "sbp/async_pass.hpp"
+#include "sbp/mcmc_phases.hpp"
+
+namespace hsbp::sbp {
+
+using blockmodel::Blockmodel;
+using graph::Graph;
+using graph::Vertex;
+
+PhaseOutcome async_gibbs_phase(const Graph& graph, Blockmodel& b,
+                               const McmcSettings& settings,
+                               util::RngPool& rngs) {
+  PhaseOutcome outcome;
+  McmcPhaseStats& stats = outcome.stats;
+  stats.initial_mdl =
+      blockmodel::mdl(b, graph.num_vertices(), graph.num_edges());
+  double current_mdl = stats.initial_mdl;
+  ConvergenceWindow window(settings.threshold);
+
+  std::vector<Vertex> vertices(static_cast<std::size_t>(graph.num_vertices()));
+  std::iota(vertices.begin(), vertices.end(), 0);
+
+  for (int pass = 0; pass < settings.max_iterations; ++pass) {
+    // Alg. 3: copy the membership vector, run one parallel pass against
+    // the (now stale) blockmodel, then rebuild.
+    auto shared = detail::make_atomic_assignment(b.assignment());
+    auto sizes = detail::make_atomic_sizes(b);
+    const auto counters =
+        detail::async_pass(graph, b, shared, sizes, vertices, settings.beta,
+                           rngs, settings.dynamic_schedule);
+    stats.proposals += counters.proposals;
+    stats.accepted += counters.accepted;
+    outcome.parallel_updates += graph.num_vertices();
+
+    b.rebuild(graph, detail::snapshot_assignment(shared));
+    const double new_mdl =
+        blockmodel::mdl(b, graph.num_vertices(), graph.num_edges());
+    const double pass_delta = new_mdl - current_mdl;
+    current_mdl = new_mdl;
+    ++stats.iterations;
+    if (window.record(pass_delta, current_mdl)) break;
+  }
+
+  stats.final_mdl = current_mdl;
+  return outcome;
+}
+
+}  // namespace hsbp::sbp

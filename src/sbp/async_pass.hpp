@@ -1,0 +1,122 @@
+/// \file async_pass.hpp
+/// \brief Internal: one asynchronous-Gibbs pass over a vertex set,
+/// shared by the A-SBP phase and the parallel half of the H-SBP phase.
+///
+/// The pass reads/writes a shared membership vector with relaxed
+/// atomics: every vertex is owned by exactly one loop index (so its own
+/// cell has a single writer), while neighbor reads may observe a mix of
+/// pre-pass and in-pass values — precisely the staleness asynchronous
+/// Gibbs tolerates. Block sizes are tracked with a guarded atomic
+/// transfer so no block is ever emptied by a vertex move.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "sbp/mcmc_common.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::sbp::detail {
+
+struct AsyncPassCounters {
+  std::int64_t proposals = 0;
+  std::int64_t accepted = 0;
+};
+
+using AtomicAssignment = std::vector<std::atomic<std::int32_t>>;
+using AtomicSizes = std::vector<std::atomic<std::int32_t>>;
+
+inline AtomicAssignment make_atomic_assignment(
+    std::span<const std::int32_t> assignment) {
+  AtomicAssignment shared(assignment.size());
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    shared[i].store(assignment[i], std::memory_order_relaxed);
+  }
+  return shared;
+}
+
+inline AtomicSizes make_atomic_sizes(const blockmodel::Blockmodel& b) {
+  AtomicSizes sizes(static_cast<std::size_t>(b.num_blocks()));
+  for (blockmodel::BlockId r = 0; r < b.num_blocks(); ++r) {
+    sizes[static_cast<std::size_t>(r)].store(b.block_size(r),
+                                             std::memory_order_relaxed);
+  }
+  return sizes;
+}
+
+inline std::vector<std::int32_t> snapshot_assignment(
+    const AtomicAssignment& shared) {
+  std::vector<std::int32_t> out(shared.size());
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    out[i] = shared[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+/// Runs one parallel pass over `vertices`. `b` supplies the (stale)
+/// blockmodel for proposal weights and ΔMDL; `shared`/`sizes` carry the
+/// evolving memberships. The default static schedule keeps the
+/// vertex→thread→RNG mapping deterministic for a fixed thread count;
+/// `dynamic_schedule` trades that for load balance on skewed degree
+/// distributions (the paper's §5.5 load-balancing remark).
+inline AsyncPassCounters async_pass(const graph::Graph& graph,
+                                    const blockmodel::Blockmodel& b,
+                                    AtomicAssignment& shared,
+                                    AtomicSizes& sizes,
+                                    std::span<const graph::Vertex> vertices,
+                                    double beta, util::RngPool& rngs,
+                                    bool dynamic_schedule = false) {
+  AsyncPassCounters counters;
+  std::int64_t proposals = 0;
+  std::int64_t accepted = 0;
+  const auto count = static_cast<std::int64_t>(vertices.size());
+
+  // The loop body takes the reduction counters as parameters: inside
+  // the parallel region the names bind to each thread's private copy
+  // (a by-reference capture would alias the shared outer variables and
+  // race).
+  const auto body = [&](std::int64_t i, std::int64_t& proposals_local,
+                        std::int64_t& accepted_local) {
+    const graph::Vertex v = vertices[static_cast<std::size_t>(i)];
+    const auto view = [&shared](graph::Vertex u) {
+      return shared[static_cast<std::size_t>(u)].load(
+          std::memory_order_relaxed);
+    };
+    const std::int32_t from = view(v);
+    const std::int32_t source_size =
+        sizes[static_cast<std::size_t>(from)].load(std::memory_order_relaxed);
+    const VertexOutcome outcome = evaluate_vertex(
+        graph, b, view, v, source_size, beta, rngs.local());
+    ++proposals_local;
+    if (!outcome.moved) return;
+    // Guarded size transfer: never empty a block, even under races.
+    auto& from_size = sizes[static_cast<std::size_t>(from)];
+    if (from_size.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      from_size.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    sizes[static_cast<std::size_t>(outcome.to)].fetch_add(
+        1, std::memory_order_relaxed);
+    shared[static_cast<std::size_t>(v)].store(outcome.to,
+                                              std::memory_order_relaxed);
+    ++accepted_local;
+  };
+
+  if (dynamic_schedule) {
+#pragma omp parallel for schedule(dynamic, 64) \
+    reduction(+ : proposals, accepted)
+    for (std::int64_t i = 0; i < count; ++i) body(i, proposals, accepted);
+  } else {
+#pragma omp parallel for schedule(static) reduction(+ : proposals, accepted)
+    for (std::int64_t i = 0; i < count; ++i) body(i, proposals, accepted);
+  }
+
+  counters.proposals = proposals;
+  counters.accepted = accepted;
+  return counters;
+}
+
+}  // namespace hsbp::sbp::detail

@@ -1,0 +1,71 @@
+#include <algorithm>
+#include <numeric>
+
+#include "blockmodel/mdl.hpp"
+#include "sbp/async_pass.hpp"
+#include "sbp/mcmc_phases.hpp"
+
+namespace hsbp::sbp {
+
+using blockmodel::Blockmodel;
+using graph::Graph;
+using graph::Vertex;
+
+PhaseOutcome batched_gibbs_phase(const Graph& graph, Blockmodel& b,
+                                 const McmcSettings& settings,
+                                 int batch_count, util::RngPool& rngs) {
+  PhaseOutcome outcome;
+  McmcPhaseStats& stats = outcome.stats;
+  stats.initial_mdl =
+      blockmodel::mdl(b, graph.num_vertices(), graph.num_edges());
+  double current_mdl = stats.initial_mdl;
+  ConvergenceWindow window(settings.threshold);
+
+  const auto v_count = static_cast<std::size_t>(graph.num_vertices());
+  std::vector<Vertex> vertices(v_count);
+  std::iota(vertices.begin(), vertices.end(), 0);
+  const int batches = std::max(1, batch_count);
+
+  for (int pass = 0; pass < settings.max_iterations; ++pass) {
+    // Shuffle once per pass so batch composition varies — otherwise the
+    // same vertex always sees the same staleness position.
+    rngs.stream(0).shuffle(vertices);
+
+    // One pass = `batches` parallel sweeps, each over a slice of the
+    // permutation, with a blockmodel rebuild between slices. Staleness
+    // is bounded by the slice length instead of the whole pass.
+    for (int batch = 0; batch < batches; ++batch) {
+      const std::size_t begin = v_count * static_cast<std::size_t>(batch) /
+                                static_cast<std::size_t>(batches);
+      const std::size_t end =
+          v_count * static_cast<std::size_t>(batch + 1) /
+          static_cast<std::size_t>(batches);
+      if (begin == end) continue;
+
+      auto shared = detail::make_atomic_assignment(b.assignment());
+      auto sizes = detail::make_atomic_sizes(b);
+      const std::span<const Vertex> slice(vertices.data() + begin,
+                                          end - begin);
+      const auto counters =
+          detail::async_pass(graph, b, shared, sizes, slice, settings.beta,
+                             rngs, settings.dynamic_schedule);
+      stats.proposals += counters.proposals;
+      stats.accepted += counters.accepted;
+      outcome.parallel_updates += static_cast<std::int64_t>(slice.size());
+
+      b.rebuild(graph, detail::snapshot_assignment(shared));
+    }
+
+    const double new_mdl =
+        blockmodel::mdl(b, graph.num_vertices(), graph.num_edges());
+    const double pass_delta = new_mdl - current_mdl;
+    current_mdl = new_mdl;
+    ++stats.iterations;
+    if (window.record(pass_delta, current_mdl)) break;
+  }
+
+  stats.final_mdl = current_mdl;
+  return outcome;
+}
+
+}  // namespace hsbp::sbp

@@ -1,0 +1,110 @@
+#include "sbp/block_merge.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "blockmodel/merge_delta.hpp"
+#include "sbp/proposal.hpp"
+
+namespace hsbp::sbp {
+
+using blockmodel::BlockId;
+using blockmodel::Blockmodel;
+
+namespace {
+
+struct BestMerge {
+  double delta_mdl = std::numeric_limits<double>::infinity();
+  BlockId partner = -1;
+};
+
+/// Path-compressing find over the merge parent forest.
+BlockId find_root(std::vector<BlockId>& parent, BlockId x) {
+  while (parent[static_cast<std::size_t>(x)] != x) {
+    parent[static_cast<std::size_t>(x)] =
+        parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    x = parent[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+}  // namespace
+
+MergeOutcome block_merge_phase(const graph::Graph& graph, const Blockmodel& b,
+                               BlockId target_blocks, int proposals_per_block,
+                               util::RngPool& rngs) {
+  const BlockId num_blocks = b.num_blocks();
+  assert(target_blocks >= 1 && target_blocks <= num_blocks);
+
+  MergeOutcome outcome;
+  if (target_blocks == num_blocks || num_blocks < 2) {
+    outcome.assignment = b.assignment();
+    outcome.num_blocks = num_blocks;
+    return outcome;
+  }
+
+  // Parallel proposal sweep: each block evaluates `proposals_per_block`
+  // candidate partners and records its best ΔMDL.
+  std::vector<BestMerge> best(static_cast<std::size_t>(num_blocks));
+#pragma omp parallel for schedule(static)
+  for (BlockId c = 0; c < num_blocks; ++c) {
+    util::Rng& rng = rngs.local();
+    const auto nb = block_neighbor_counts(b, c);
+    BestMerge& slot = best[static_cast<std::size_t>(c)];
+    for (int attempt = 0; attempt < proposals_per_block; ++attempt) {
+      const BlockId partner = propose_block(b, nb, c, /*is_merge=*/true, rng);
+      if (partner == c) continue;
+      const double delta = blockmodel::merge_delta_mdl(
+          b, c, partner, graph.num_vertices(), graph.num_edges());
+      if (delta < slot.delta_mdl) {
+        slot.delta_mdl = delta;
+        slot.partner = partner;
+      }
+    }
+  }
+
+  // Sort blocks by their best ΔMDL and apply merges greedily.
+  std::vector<BlockId> order(static_cast<std::size_t>(num_blocks));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&best](BlockId a, BlockId c) {
+    return best[static_cast<std::size_t>(a)].delta_mdl <
+           best[static_cast<std::size_t>(c)].delta_mdl;
+  });
+
+  std::vector<BlockId> parent(static_cast<std::size_t>(num_blocks));
+  std::iota(parent.begin(), parent.end(), 0);
+  BlockId remaining = num_blocks;
+  for (const BlockId c : order) {
+    if (remaining <= target_blocks) break;
+    const BestMerge& merge = best[static_cast<std::size_t>(c)];
+    if (merge.partner < 0) continue;  // block had no viable partner
+    const BlockId root_from = find_root(parent, c);
+    const BlockId root_to = find_root(parent, merge.partner);
+    if (root_from == root_to) continue;  // chain already joined them
+    parent[static_cast<std::size_t>(root_from)] = root_to;
+    --remaining;
+  }
+
+  // Densely relabel the surviving roots.
+  std::vector<BlockId> dense(static_cast<std::size_t>(num_blocks), -1);
+  BlockId next_label = 0;
+  for (BlockId c = 0; c < num_blocks; ++c) {
+    const BlockId root = find_root(parent, c);
+    if (dense[static_cast<std::size_t>(root)] < 0) {
+      dense[static_cast<std::size_t>(root)] = next_label++;
+    }
+  }
+
+  outcome.num_blocks = next_label;
+  outcome.assignment.resize(b.assignment().size());
+  const auto& old_assignment = b.assignment();
+  for (std::size_t v = 0; v < old_assignment.size(); ++v) {
+    const BlockId root = find_root(parent, old_assignment[v]);
+    outcome.assignment[v] = dense[static_cast<std::size_t>(root)];
+  }
+  return outcome;
+}
+
+}  // namespace hsbp::sbp

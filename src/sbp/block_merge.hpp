@@ -1,0 +1,34 @@
+/// \file block_merge.hpp
+/// \brief The block-merge (agglomeration) phase, paper Alg. 1.
+///
+/// Every block proposes `proposals_per_block` merge partners through the
+/// shared proposal distribution (block treated as a super-vertex) and
+/// keeps its best ΔMDL. The best merges are then applied greedily in
+/// ascending-ΔMDL order — with union-find chasing so chains r→s, s→q
+/// resolve — until the block count reaches the target. The proposal
+/// loop is embarrassingly parallel (OpenMP), the sort + apply serial,
+/// exactly as the paper describes.
+#pragma once
+
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::sbp {
+
+struct MergeOutcome {
+  /// New membership with dense labels [0, num_blocks).
+  std::vector<std::int32_t> assignment;
+  blockmodel::BlockId num_blocks = 0;
+};
+
+/// Merges blocks of `b` down to (at most) `target_blocks`.
+/// \pre 1 <= target_blocks <= b.num_blocks().
+MergeOutcome block_merge_phase(const graph::Graph& graph,
+                               const blockmodel::Blockmodel& b,
+                               blockmodel::BlockId target_blocks,
+                               int proposals_per_block, util::RngPool& rngs);
+
+}  // namespace hsbp::sbp

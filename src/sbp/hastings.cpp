@@ -1,0 +1,51 @@
+#include "sbp/hastings.hpp"
+
+#include <cassert>
+
+namespace hsbp::sbp {
+
+using blockmodel::BlockId;
+using blockmodel::Blockmodel;
+using blockmodel::Count;
+using blockmodel::MoveDelta;
+using blockmodel::NeighborBlockCounts;
+
+double hastings_correction(const Blockmodel& b, const NeighborBlockCounts& nb,
+                           BlockId from, BlockId to, const MoveDelta& delta) {
+  assert(from != to);
+  const double c = static_cast<double>(b.num_blocks());
+  const Count mover_degree = nb.degree_total();
+
+  double forward = 0.0;
+  double backward = 0.0;
+
+  const auto accumulate = [&](BlockId t, Count k) {
+    const double kd = static_cast<double>(k);
+
+    // Forward: pre-move matrix and degrees.
+    const double fwd_num = static_cast<double>(b.matrix().get(t, to) +
+                                               b.matrix().get(to, t)) +
+                           1.0;
+    const double fwd_den = static_cast<double>(b.degree_total(t)) + c;
+    forward += kd * fwd_num / fwd_den;
+
+    // Backward: post-move matrix and degrees (only from/to degrees move).
+    const double bwd_num =
+        static_cast<double>(delta.new_value(b, t, from) +
+                            delta.new_value(b, from, t)) +
+        1.0;
+    Count d_t = b.degree_total(t);
+    if (t == from) d_t -= mover_degree;
+    if (t == to) d_t += mover_degree;
+    const double bwd_den = static_cast<double>(d_t) + c;
+    backward += kd * bwd_num / bwd_den;
+  };
+
+  for (const auto& [t, k] : nb.out) accumulate(t, k);
+  for (const auto& [t, k] : nb.in) accumulate(t, k);
+
+  if (forward <= 0.0) return 1.0;  // isolated vertex: symmetric proposal
+  return backward / forward;
+}
+
+}  // namespace hsbp::sbp

@@ -1,0 +1,28 @@
+/// \file hastings.hpp
+/// \brief Hastings correction for the asymmetric SBP proposal.
+///
+/// The proposal of proposal.hpp is not symmetric, so Metropolis-Hastings
+/// acceptance needs the ratio p(s→r)/p(r→s). Following the reference
+/// implementation, the per-neighbor-block terms are
+///
+///   p(r→s) ∝ Σ_t k_t · (M_ts + M_st + 1) / (d_t + C)
+///   p(s→r) ∝ Σ_t k_t · (M'_tr + M'_rt + 1) / (d'_t + C)
+///
+/// with k_t the number of edges between the vertex and block t (either
+/// direction, self-loops excluded), M' and d' the post-move matrix and
+/// block degrees. The common 1/d_v factor cancels in the ratio.
+#pragma once
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/vertex_move_delta.hpp"
+
+namespace hsbp::sbp {
+
+/// Returns p_backward / p_forward for the move `from` → `to` described
+/// by `nb`/`delta`. \pre from != to; delta was computed for this move.
+double hastings_correction(const blockmodel::Blockmodel& b,
+                           const blockmodel::NeighborBlockCounts& nb,
+                           blockmodel::BlockId from, blockmodel::BlockId to,
+                           const blockmodel::MoveDelta& delta);
+
+}  // namespace hsbp::sbp

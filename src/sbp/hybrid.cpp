@@ -1,0 +1,65 @@
+#include "blockmodel/mdl.hpp"
+#include "sbp/async_pass.hpp"
+#include "sbp/mcmc_phases.hpp"
+
+namespace hsbp::sbp {
+
+using blockmodel::Blockmodel;
+using graph::Graph;
+using graph::Vertex;
+
+PhaseOutcome hybrid_phase(const Graph& graph, Blockmodel& b,
+                          const McmcSettings& settings,
+                          const graph::DegreeSplit& split,
+                          util::RngPool& rngs) {
+  PhaseOutcome outcome;
+  McmcPhaseStats& stats = outcome.stats;
+  stats.initial_mdl =
+      blockmodel::mdl(b, graph.num_vertices(), graph.num_edges());
+  double current_mdl = stats.initial_mdl;
+  ConvergenceWindow window(settings.threshold);
+  util::Rng& serial_rng = rngs.stream(0);
+
+  for (int pass = 0; pass < settings.max_iterations; ++pass) {
+    // Alg. 4, first half: the influential high-degree vertices get a
+    // synchronous Metropolis-Hastings sweep with in-place updates, so
+    // they "switch communities first" against fresh state.
+    const auto fresh_view = [&b](Vertex u) { return b.block_of(u); };
+    for (const Vertex v : split.high) {
+      const auto result =
+          evaluate_vertex(graph, b, fresh_view, v,
+                          b.block_size(b.block_of(v)), settings.beta,
+                          serial_rng);
+      ++stats.proposals;
+      if (result.moved) {
+        b.move_vertex(graph, v, result.to);
+        ++stats.accepted;
+      }
+    }
+    outcome.serial_updates += static_cast<std::int64_t>(split.high.size());
+
+    // Second half: the low-degree majority in one asynchronous pass
+    // against the post-sweep blockmodel.
+    auto shared = detail::make_atomic_assignment(b.assignment());
+    auto sizes = detail::make_atomic_sizes(b);
+    const auto counters =
+        detail::async_pass(graph, b, shared, sizes, split.low, settings.beta,
+                           rngs, settings.dynamic_schedule);
+    stats.proposals += counters.proposals;
+    stats.accepted += counters.accepted;
+    outcome.parallel_updates += static_cast<std::int64_t>(split.low.size());
+
+    b.rebuild(graph, detail::snapshot_assignment(shared));
+    const double new_mdl =
+        blockmodel::mdl(b, graph.num_vertices(), graph.num_edges());
+    const double pass_delta = new_mdl - current_mdl;
+    current_mdl = new_mdl;
+    ++stats.iterations;
+    if (window.record(pass_delta, current_mdl)) break;
+  }
+
+  stats.final_mdl = current_mdl;
+  return outcome;
+}
+
+}  // namespace hsbp::sbp

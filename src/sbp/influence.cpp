@@ -1,0 +1,115 @@
+#include "sbp/influence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "blockmodel/vertex_move_delta.hpp"
+
+namespace hsbp::sbp {
+
+using blockmodel::BlockId;
+using blockmodel::Blockmodel;
+using graph::Vertex;
+
+namespace {
+
+/// π_i(· | state): softmax over exp(−β ΔMDL(i→c)).
+std::vector<double> conditional_distribution(const graph::Graph& graph,
+                                             const Blockmodel& b, Vertex i,
+                                             double beta) {
+  const BlockId current = b.block_of(i);
+  const auto nb = blockmodel::gather_neighbor_blocks(
+      graph, b.assignment(), i);
+  const auto blocks = static_cast<std::size_t>(b.num_blocks());
+  std::vector<double> weights(blocks);
+  double max_log = 0.0;  // ΔMDL of staying is 0
+  std::vector<double> logs(blocks);
+  for (std::size_t c = 0; c < blocks; ++c) {
+    if (static_cast<BlockId>(c) == current) {
+      logs[c] = 0.0;
+    } else {
+      const auto delta = blockmodel::vertex_move_delta(
+          b, current, static_cast<BlockId>(c), nb);
+      logs[c] = -beta * delta.delta_mdl;
+    }
+    max_log = std::max(max_log, logs[c]);
+  }
+  double total = 0.0;
+  for (std::size_t c = 0; c < blocks; ++c) {
+    weights[c] = std::exp(logs[c] - max_log);
+    total += weights[c];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+double total_variation(const std::vector<double>& p,
+                       const std::vector<double>& q) {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < p.size(); ++c) sum += std::fabs(p[c] - q[c]);
+  return 0.5 * sum;
+}
+
+}  // namespace
+
+InfluenceResult total_influence(const graph::Graph& graph,
+                                std::span<const std::int32_t> assignment,
+                                BlockId num_blocks, double beta,
+                                Vertex max_vertices) {
+  const Vertex v_count = graph.num_vertices();
+  if (v_count > max_vertices) {
+    throw std::invalid_argument(
+        "total_influence: graph too large for the O(V^2 C^3) computation "
+        "(the intractability the paper describes); raise max_vertices "
+        "explicitly to force it");
+  }
+  const Blockmodel base =
+      Blockmodel::from_assignment(graph, assignment, num_blocks);
+  const auto blocks = static_cast<std::size_t>(num_blocks);
+  const auto n = static_cast<std::size_t>(v_count);
+
+  InfluenceResult result;
+  result.influence_of.assign(n, 0.0);
+  // alpha_received[i] accumulates Σ_j α_ij for the max_i in α.
+  std::vector<double> alpha_received(n, 0.0);
+
+  for (Vertex j = 0; j < v_count; ++j) {
+    // Conditionals of every i under each single-site state X^{j→a}.
+    // distributions[a][i] is π_i(· | X^{j→a}).
+    std::vector<std::vector<std::vector<double>>> distributions(blocks);
+    for (std::size_t a = 0; a < blocks; ++a) {
+      Blockmodel modified = base;
+      modified.move_vertex(graph, j, static_cast<BlockId>(a));
+      distributions[a].resize(n);
+      for (Vertex i = 0; i < v_count; ++i) {
+        if (i == j) continue;
+        distributions[a][static_cast<std::size_t>(i)] =
+            conditional_distribution(graph, modified, i, beta);
+      }
+    }
+    // α_ij = max over state pairs (a, b) of TV(π_i | a, π_i | b).
+    for (Vertex i = 0; i < v_count; ++i) {
+      if (i == j) continue;
+      double alpha_ij = 0.0;
+      for (std::size_t a = 0; a < blocks; ++a) {
+        for (std::size_t b = a + 1; b < blocks; ++b) {
+          alpha_ij = std::max(
+              alpha_ij,
+              total_variation(distributions[a][static_cast<std::size_t>(i)],
+                              distributions[b][static_cast<std::size_t>(i)]));
+        }
+      }
+      alpha_received[static_cast<std::size_t>(i)] += alpha_ij;
+      result.influence_of[static_cast<std::size_t>(j)] += alpha_ij;
+    }
+  }
+
+  result.alpha = alpha_received.empty()
+                     ? 0.0
+                     : *std::max_element(alpha_received.begin(),
+                                         alpha_received.end());
+  return result;
+}
+
+}  // namespace hsbp::sbp

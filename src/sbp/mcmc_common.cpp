@@ -1,0 +1,4 @@
+// mcmc_common is header-only (templates on the assignment view); this
+// translation unit exists to give the header a home in the build and to
+// anchor any future non-template helpers.
+#include "sbp/mcmc_common.hpp"

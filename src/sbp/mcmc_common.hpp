@@ -1,0 +1,100 @@
+/// \file mcmc_common.hpp
+/// \brief Machinery shared by the three MCMC phases: the per-vertex
+/// propose/evaluate/accept step and the convergence window.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/vertex_move_delta.hpp"
+#include "sbp/hastings.hpp"
+#include "sbp/proposal.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::sbp {
+
+/// Per-phase knobs resolved by the driver (threshold depends on whether
+/// the golden bracket is established).
+struct McmcSettings {
+  double beta = 3.0;
+  double threshold = 1e-4;   ///< t in "ΔMDL < t × MDL"
+  int max_iterations = 100;  ///< x in Algs. 2–4
+  /// Dynamic OpenMP schedule for the asynchronous passes (load balance
+  /// vs. reproducibility; see SbpConfig::dynamic_schedule).
+  bool dynamic_schedule = false;
+};
+
+/// Outcome of evaluating one vertex.
+struct VertexOutcome {
+  bool moved = false;                  ///< proposal accepted (and not a no-op)
+  blockmodel::BlockId to = 0;          ///< destination (valid if moved)
+  double delta_mdl = 0.0;              ///< ΔMDL of the accepted move
+};
+
+/// Counters accumulated by each phase and surfaced through SbpStats.
+struct McmcPhaseStats {
+  std::int64_t iterations = 0;  ///< passes over the vertex set
+  std::int64_t proposals = 0;
+  std::int64_t accepted = 0;
+  double initial_mdl = 0.0;
+  double final_mdl = 0.0;
+};
+
+/// One propose → ΔMDL → Hastings → accept step for vertex v, reading
+/// memberships through `view` (see gather_neighbor_blocks_view). Does
+/// NOT apply the move; the phase decides how (in-place vs. deferred).
+///
+/// `can_empty_block(from)` guard: moves that would empty their source
+/// block are rejected (the block count is owned by the merge phase).
+template <typename View>
+VertexOutcome evaluate_vertex(const graph::Graph& graph,
+                              const blockmodel::Blockmodel& b,
+                              const View& view, graph::Vertex v,
+                              std::int32_t source_block_size, double beta,
+                              util::Rng& rng) {
+  VertexOutcome outcome;
+  const blockmodel::BlockId from = view(v);
+  if (source_block_size <= 1) return outcome;  // would empty the block
+
+  const auto nb = blockmodel::gather_neighbor_blocks_view(graph, view, v);
+  const blockmodel::BlockId to = propose_block(b, nb, from, false, rng);
+  if (to == from) return outcome;
+
+  const auto delta = blockmodel::vertex_move_delta(b, from, to, nb);
+  const double correction = hastings_correction(b, nb, from, to, delta);
+  const double acceptance =
+      std::exp(-beta * delta.delta_mdl) * correction;
+  if (acceptance >= 1.0 || rng.uniform() < acceptance) {
+    outcome.moved = true;
+    outcome.to = to;
+    outcome.delta_mdl = delta.delta_mdl;
+  }
+  return outcome;
+}
+
+/// The paper's early-stopping rule: stop when the summed |ΔMDL| of the
+/// last `window` passes drops below threshold × |MDL|.
+class ConvergenceWindow {
+ public:
+  explicit ConvergenceWindow(double threshold, std::size_t window = 3)
+      : threshold_(threshold), window_(window) {}
+
+  /// Records one pass; returns true if the chain has converged.
+  bool record(double pass_delta_mdl, double current_mdl) {
+    history_.push_back(std::fabs(pass_delta_mdl));
+    if (history_.size() > window_) history_.pop_front();
+    if (history_.size() < window_) return false;
+    double sum = 0.0;
+    for (const double d : history_) sum += d;
+    return sum < threshold_ * std::fabs(current_mdl);
+  }
+
+ private:
+  double threshold_;
+  std::size_t window_;
+  std::deque<double> history_;
+};
+
+}  // namespace hsbp::sbp

@@ -1,0 +1,58 @@
+/// \file mcmc_phases.hpp
+/// \brief The three MCMC phases of the paper (Algs. 2–4). Each refines
+/// the blockmodel in place and reports pass/acceptance counters.
+#pragma once
+
+#include "blockmodel/blockmodel.hpp"
+#include "graph/degree.hpp"
+#include "graph/graph.hpp"
+#include "sbp/mcmc_common.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::sbp {
+
+/// Extended phase counters including the Amdahl accounting (how many
+/// vertex updates ran inside a parallel region vs. serially).
+struct PhaseOutcome {
+  McmcPhaseStats stats;
+  std::int64_t parallel_updates = 0;
+  std::int64_t serial_updates = 0;
+};
+
+/// Paper Alg. 2 — serial Metropolis-Hastings. Every accepted move
+/// updates the blockmodel in place; proposals always see fresh state.
+PhaseOutcome metropolis_hastings_phase(const graph::Graph& graph,
+                                       blockmodel::Blockmodel& b,
+                                       const McmcSettings& settings,
+                                       util::RngPool& rngs);
+
+/// Paper Alg. 3 — asynchronous Gibbs (A-SBP). One OpenMP-parallel pass
+/// per iteration: proposals are evaluated against the stale blockmodel
+/// and a shared membership vector updated with relaxed atomics (other
+/// threads' in-pass moves may or may not be visible — the "asynchronous"
+/// in the name); the blockmodel is rebuilt in parallel after each pass.
+PhaseOutcome async_gibbs_phase(const graph::Graph& graph,
+                               blockmodel::Blockmodel& b,
+                               const McmcSettings& settings,
+                               util::RngPool& rngs);
+
+/// Paper Alg. 4 — hybrid (H-SBP): `split.high` (the top-degree vertices)
+/// is processed first, serially and in place; `split.low` then runs as
+/// one asynchronous pass; the blockmodel is rebuilt at pass end.
+PhaseOutcome hybrid_phase(const graph::Graph& graph,
+                          blockmodel::Blockmodel& b,
+                          const McmcSettings& settings,
+                          const graph::DegreeSplit& split,
+                          util::RngPool& rngs);
+
+/// B-SBP — the batched asynchronous Gibbs the paper's conclusion
+/// proposes as future work: each pass is `batch_count` parallel sweeps
+/// over random slices of the vertex set with a blockmodel rebuild
+/// between slices, bounding staleness to 1/batch_count of a pass with
+/// no serial section at all.
+PhaseOutcome batched_gibbs_phase(const graph::Graph& graph,
+                                 blockmodel::Blockmodel& b,
+                                 const McmcSettings& settings,
+                                 int batch_count, util::RngPool& rngs);
+
+}  // namespace hsbp::sbp

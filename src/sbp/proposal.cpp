@@ -1,0 +1,118 @@
+#include "sbp/proposal.hpp"
+
+#include <cassert>
+
+namespace hsbp::sbp {
+
+using blockmodel::BlockId;
+using blockmodel::Blockmodel;
+using blockmodel::Count;
+using blockmodel::NeighborBlockCounts;
+
+namespace {
+
+/// Uniform random block, optionally excluding one.
+BlockId uniform_block(BlockId num_blocks, BlockId excluded, bool exclude,
+                      util::Rng& rng) {
+  if (!exclude) {
+    return static_cast<BlockId>(
+        rng.uniform_int(static_cast<std::uint64_t>(num_blocks)));
+  }
+  assert(num_blocks >= 2);
+  const auto draw = static_cast<BlockId>(
+      rng.uniform_int(static_cast<std::uint64_t>(num_blocks - 1)));
+  return draw >= excluded ? static_cast<BlockId>(draw + 1) : draw;
+}
+
+/// Weighted draw of a neighbor block from the mover's incident edges
+/// (step 2). \pre total > 0.
+BlockId draw_neighbor_block(const NeighborBlockCounts& nb, BlockId current,
+                            Count total, util::Rng& rng) {
+  auto draw = static_cast<Count>(
+      rng.uniform_int(static_cast<std::uint64_t>(total)));
+  for (const auto& [block, count] : nb.out) {
+    draw -= count;
+    if (draw < 0) return block;
+  }
+  for (const auto& [block, count] : nb.in) {
+    draw -= count;
+    if (draw < 0) return block;
+  }
+  return current;  // remaining mass: self-loops
+}
+
+/// Step 4: the block at the other end of a random edge incident on t,
+/// i.e. a draw from row t + column t of M. When excluding `current`
+/// (merges), its cells are skipped; returns current if nothing remains.
+BlockId draw_from_block_edges(const Blockmodel& b, BlockId t, BlockId current,
+                              bool exclude_current, util::Rng& rng) {
+  Count total = b.degree_total(t);
+  if (exclude_current) {
+    total -= b.matrix().get(t, current) + b.matrix().get(current, t);
+  }
+  if (total <= 0) return current;
+  auto draw = static_cast<Count>(
+      rng.uniform_int(static_cast<std::uint64_t>(total)));
+  for (const auto& [block, count] : b.matrix().row(t)) {
+    if (exclude_current && block == current) continue;
+    draw -= count;
+    if (draw < 0) return block;
+  }
+  for (const auto& [block, count] : b.matrix().col(t)) {
+    if (exclude_current && block == current) continue;
+    draw -= count;
+    if (draw < 0) return block;
+  }
+  return current;  // unreachable unless counts were inconsistent
+}
+
+}  // namespace
+
+BlockId propose_block(const Blockmodel& b, const NeighborBlockCounts& nb,
+                      BlockId current, bool is_merge, util::Rng& rng) {
+  const BlockId num_blocks = b.num_blocks();
+  assert(!is_merge || num_blocks >= 2);
+
+  const Count neighbor_total = nb.degree_total();
+  if (neighbor_total == 0) {
+    return uniform_block(num_blocks, current, is_merge, rng);
+  }
+
+  const BlockId t = draw_neighbor_block(nb, current, neighbor_total, rng);
+
+  // Exploration escape: probability C / (d_t + C).
+  const double c = static_cast<double>(num_blocks);
+  const double escape =
+      c / (static_cast<double>(b.degree_total(t)) + c);
+  if (rng.uniform() < escape) {
+    return uniform_block(num_blocks, current, is_merge, rng);
+  }
+
+  const BlockId proposal =
+      draw_from_block_edges(b, t, current, is_merge, rng);
+  if (is_merge && proposal == current) {
+    // Row+column t had no non-self mass: fall back to uniform non-self.
+    return uniform_block(num_blocks, current, true, rng);
+  }
+  return proposal;
+}
+
+NeighborBlockCounts block_neighbor_counts(const Blockmodel& b, BlockId c) {
+  NeighborBlockCounts nb;
+  for (const auto& [block, count] : b.matrix().row(c)) {
+    if (block == c) {
+      nb.self_loops += count;
+    } else {
+      nb.out.emplace_back(block, count);
+    }
+  }
+  for (const auto& [block, count] : b.matrix().col(c)) {
+    if (block == c) continue;  // block self-loops counted once above
+    nb.in.emplace_back(block, count);
+  }
+  nb.degree_out = b.degree_out(c);
+  nb.degree_in = b.degree_in(c);
+  return nb;
+}
+
+}  // namespace hsbp::sbp

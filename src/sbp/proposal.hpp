@@ -1,0 +1,41 @@
+/// \file proposal.hpp
+/// \brief The SBP proposal distribution (shared by the MCMC phases and
+/// the block-merge phase).
+///
+/// Reference Graph Challenge scheme, for a mover (vertex or block)
+/// currently in block `current` with neighbor-block counts `nb`:
+///   1. if the mover has no neighbors, propose a uniform random block;
+///   2. otherwise pick a random incident edge; let t be the block of its
+///      other endpoint;
+///   3. with probability C/(d_t + C), propose a uniform random block
+///      (the exploration escape that keeps the chain irreducible);
+///   4. otherwise propose the block of a random edge incident on block t
+///      (a draw from row t + column t of M).
+///
+/// For merge proposals (is_merge == true) the current block is excluded
+/// everywhere: uniform draws avoid it and the step-4 multinomial zeroes
+/// its entries (falling back to a uniform non-self draw if row+column t
+/// contains nothing else).
+#pragma once
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/vertex_move_delta.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::sbp {
+
+/// Draws a proposed destination block. For vertex moves the result may
+/// equal `current` (callers treat that as a no-op). \pre b.num_blocks()
+/// >= 2 when is_merge.
+blockmodel::BlockId propose_block(const blockmodel::Blockmodel& b,
+                                  const blockmodel::NeighborBlockCounts& nb,
+                                  blockmodel::BlockId current, bool is_merge,
+                                  util::Rng& rng);
+
+/// Neighbor-block counts of a *block* treated as a super-vertex: row c
+/// of M are its out-edges, column c its in-edges, M[c][c] its
+/// self-loops. Used by merge proposals.
+blockmodel::NeighborBlockCounts block_neighbor_counts(
+    const blockmodel::Blockmodel& b, blockmodel::BlockId c);
+
+}  // namespace hsbp::sbp

@@ -1,0 +1,186 @@
+#include "sbp/sbp.hpp"
+#include "sbp/streaming.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "blockmodel/mdl.hpp"
+#include "graph/degree.hpp"
+#include "sbp/block_merge.hpp"
+#include "sbp/golden_search.hpp"
+#include "sbp/mcmc_phases.hpp"
+#include "util/logger.hpp"
+#include "util/timer.hpp"
+
+namespace hsbp::sbp {
+
+using blockmodel::BlockId;
+using blockmodel::Blockmodel;
+using graph::Graph;
+
+const char* variant_name(Variant variant) noexcept {
+  switch (variant) {
+    case Variant::Metropolis: return "SBP";
+    case Variant::AsyncGibbs: return "A-SBP";
+    case Variant::Hybrid: return "H-SBP";
+    case Variant::BatchedGibbs: return "B-SBP";
+  }
+  return "?";
+}
+
+namespace {
+
+void validate(const Graph& graph, const SbpConfig& config) {
+  if (graph.num_vertices() <= 0) {
+    throw std::invalid_argument("sbp::run: empty graph");
+  }
+  if (graph.num_edges() <= 0) {
+    throw std::invalid_argument("sbp::run: graph has no edges");
+  }
+  if (config.block_reduction_rate <= 0.0 ||
+      config.block_reduction_rate >= 1.0) {
+    throw std::invalid_argument("sbp::run: block_reduction_rate in (0,1)");
+  }
+  if (config.merge_proposals_per_block < 1) {
+    throw std::invalid_argument("sbp::run: merge_proposals_per_block >= 1");
+  }
+  if (config.max_mcmc_iterations < 1) {
+    throw std::invalid_argument("sbp::run: max_mcmc_iterations >= 1");
+  }
+  if (config.hybrid_fraction < 0.0 || config.hybrid_fraction > 1.0) {
+    throw std::invalid_argument("sbp::run: hybrid_fraction in [0,1]");
+  }
+  if (config.beta <= 0.0) {
+    throw std::invalid_argument("sbp::run: beta must be positive");
+  }
+  if (config.batch_count < 1) {
+    throw std::invalid_argument("sbp::run: batch_count >= 1");
+  }
+}
+
+PhaseOutcome run_mcmc_phase(const Graph& graph, Blockmodel& b,
+                            const SbpConfig& config,
+                            const McmcSettings& settings,
+                            const graph::DegreeSplit& split,
+                            util::RngPool& rngs) {
+  switch (config.variant) {
+    case Variant::Metropolis:
+      return metropolis_hastings_phase(graph, b, settings, rngs);
+    case Variant::AsyncGibbs:
+      return async_gibbs_phase(graph, b, settings, rngs);
+    case Variant::Hybrid:
+      return hybrid_phase(graph, b, settings, split, rngs);
+    case Variant::BatchedGibbs:
+      return batched_gibbs_phase(graph, b, settings, config.batch_count,
+                                 rngs);
+  }
+  throw std::logic_error("sbp::run: unknown variant");
+}
+
+/// The shared core of run()/run_warm(): golden-section search from an
+/// arbitrary evaluated starting partition.
+SbpResult run_impl(const Graph& graph, const SbpConfig& config,
+                   Snapshot initial) {
+  if (config.num_threads > 0) omp_set_num_threads(config.num_threads);
+
+  util::Timer total_timer;
+  util::RngPool rngs(config.seed,
+                     static_cast<std::size_t>(
+                         std::max(1, omp_get_max_threads())));
+
+  graph::DegreeSplit split;
+  if (config.variant == Variant::Hybrid) {
+    split = select_hybrid_vertices(graph, config.hybrid_fraction,
+                                   config.hybrid_selection, config.seed);
+  }
+
+  SbpResult result;
+  SbpStats& stats = result.stats;
+
+  GoldenSearch search(std::move(initial), config.block_reduction_rate);
+
+  util::Stopwatch merge_watch;
+  util::Stopwatch mcmc_watch;
+
+  while (!search.done() &&
+         stats.outer_iterations < config.max_outer_iterations) {
+    const GoldenSearch::Probe probe = search.next_probe();
+
+    Blockmodel b = Blockmodel::from_assignment(
+        graph, probe.warm_start->assignment, probe.warm_start->num_blocks);
+
+    merge_watch.start();
+    MergeOutcome merged =
+        block_merge_phase(graph, b, probe.target_blocks,
+                          config.merge_proposals_per_block, rngs);
+    b = Blockmodel::from_assignment(graph, merged.assignment,
+                                    merged.num_blocks);
+    merge_watch.stop();
+
+    McmcSettings settings;
+    settings.beta = config.beta;
+    settings.max_iterations = config.max_mcmc_iterations;
+    settings.dynamic_schedule = config.dynamic_schedule;
+    settings.threshold = search.bracket_established()
+                             ? config.mcmc_threshold_post_bracket
+                             : config.mcmc_threshold_pre_bracket;
+
+    mcmc_watch.start();
+    const PhaseOutcome phase =
+        run_mcmc_phase(graph, b, config, settings, split, rngs);
+    mcmc_watch.stop();
+
+    stats.mcmc_iterations += phase.stats.iterations;
+    stats.proposals += phase.stats.proposals;
+    stats.accepted_moves += phase.stats.accepted;
+    stats.parallel_updates += phase.parallel_updates;
+    stats.serial_updates += phase.serial_updates;
+    ++stats.outer_iterations;
+
+    HSBP_LOG_DEBUG("%s: outer %lld blocks %d mdl %.2f",
+                   variant_name(config.variant),
+                   static_cast<long long>(stats.outer_iterations),
+                   b.num_blocks(), phase.stats.final_mdl);
+
+    search.record(Snapshot{b.copy_assignment(), b.num_blocks(),
+                           phase.stats.final_mdl});
+  }
+
+  const Snapshot& best = search.best();
+  result.assignment = best.assignment;
+  result.num_blocks = best.num_blocks;
+  result.mdl = best.mdl;
+  stats.block_merge_seconds = merge_watch.total();
+  stats.mcmc_seconds = mcmc_watch.total();
+  stats.total_seconds = total_timer.elapsed();
+  return result;
+}
+
+}  // namespace
+
+SbpResult run(const Graph& graph, const SbpConfig& config) {
+  validate(graph, config);
+  // Cold start: the identity partition.
+  Blockmodel identity = Blockmodel::identity(graph);
+  Snapshot initial{identity.copy_assignment(), identity.num_blocks(),
+                   blockmodel::mdl(identity, graph.num_vertices(),
+                                   graph.num_edges())};
+  return run_impl(graph, config, std::move(initial));
+}
+
+SbpResult run_warm(const Graph& graph, const SbpConfig& config,
+                   std::span<const std::int32_t> assignment,
+                   blockmodel::BlockId num_blocks) {
+  validate(graph, config);
+  // from_assignment validates sizes/labels and evaluates the partition.
+  Blockmodel warm = Blockmodel::from_assignment(graph, assignment,
+                                                num_blocks);
+  Snapshot initial{warm.copy_assignment(), warm.num_blocks(),
+                   blockmodel::mdl(warm, graph.num_vertices(),
+                                   graph.num_edges())};
+  return run_impl(graph, config, std::move(initial));
+}
+
+}  // namespace hsbp::sbp

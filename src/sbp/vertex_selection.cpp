@@ -1,0 +1,93 @@
+#include "sbp/vertex_selection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace hsbp::sbp {
+
+using graph::DegreeSplit;
+using graph::Graph;
+using graph::Vertex;
+
+const char* selection_name(HybridSelection selection) noexcept {
+  switch (selection) {
+    case HybridSelection::Degree: return "degree";
+    case HybridSelection::EdgeInfo: return "edge-info";
+    case HybridSelection::Random: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+DegreeSplit split_order(std::vector<Vertex> order, double fraction) {
+  const auto high_count = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(order.size())));
+  DegreeSplit split;
+  split.high.assign(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(high_count));
+  split.low.assign(order.begin() + static_cast<std::ptrdiff_t>(high_count),
+                   order.end());
+  return split;
+}
+
+/// Vertex score under the edge-information-content reading of [10]:
+/// Σ over incident edges (v,u) of log(1 + d_v·d_u). Self-loops count
+/// once.
+std::vector<double> edge_info_scores(const Graph& graph) {
+  std::vector<double> scores(static_cast<std::size_t>(graph.num_vertices()),
+                             0.0);
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    const double dv = static_cast<double>(graph.degree(v));
+    double score = 0.0;
+    for (const Vertex u : graph.out_neighbors(v)) {
+      score += std::log1p(dv * static_cast<double>(graph.degree(u)));
+    }
+    for (const Vertex u : graph.in_neighbors(v)) {
+      if (u == v) continue;  // self-loop already counted in the out pass
+      score += std::log1p(dv * static_cast<double>(graph.degree(u)));
+    }
+    scores[static_cast<std::size_t>(v)] = score;
+  }
+  return scores;
+}
+
+}  // namespace
+
+DegreeSplit select_hybrid_vertices(const Graph& graph, double fraction,
+                                   HybridSelection selection,
+                                   std::uint64_t seed) {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  switch (selection) {
+    case HybridSelection::Degree:
+      return graph::split_by_degree(graph, fraction);
+
+    case HybridSelection::EdgeInfo: {
+      const auto scores = edge_info_scores(graph);
+      std::vector<Vertex> order(
+          static_cast<std::size_t>(graph.num_vertices()));
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&scores](Vertex a, Vertex b) {
+        const double sa = scores[static_cast<std::size_t>(a)];
+        const double sb = scores[static_cast<std::size_t>(b)];
+        return sa != sb ? sa > sb : a < b;
+      });
+      return split_order(std::move(order), fraction);
+    }
+
+    case HybridSelection::Random: {
+      std::vector<Vertex> order(
+          static_cast<std::size_t>(graph.num_vertices()));
+      std::iota(order.begin(), order.end(), 0);
+      util::Rng rng(seed);
+      rng.shuffle(order);
+      return split_order(std::move(order), fraction);
+    }
+  }
+  return {};
+}
+
+}  // namespace hsbp::sbp

@@ -1,0 +1,43 @@
+/// \file vertex_selection.hpp
+/// \brief Strategies for choosing H-SBP's serially-processed vertex set.
+///
+/// The paper selects the top fraction by total degree, justified by two
+/// assumptions (§3.2): high-degree vertices are the most influential,
+/// and (via Kao et al. [10]) an edge's community information content is
+/// proportional to the product of its endpoint degrees. This module
+/// implements the paper's selection plus two alternatives used by the
+/// ablation bench to test those assumptions:
+///
+///   Degree    — paper default: rank by total degree;
+///   EdgeInfo  — rank by Σ over incident edges of log(1 + d_v · d_u),
+///               a direct reading of the information-content result;
+///   Random    — control: a random fraction (same parallel/serial split,
+///               no influence targeting).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/degree.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::sbp {
+
+enum class HybridSelection {
+  Degree,    ///< paper §3.2 (default)
+  EdgeInfo,  ///< Kao et al. [10] edge information content
+  Random,    ///< ablation control
+};
+
+const char* selection_name(HybridSelection selection) noexcept;
+
+/// Splits vertices into (serial, async) sets of the same sizes as the
+/// paper's split — ceil(fraction·V) serial — under the given strategy.
+/// Deterministic in `seed` (used only by Random).
+/// \pre 0 <= fraction <= 1.
+graph::DegreeSplit select_hybrid_vertices(const graph::Graph& graph,
+                                          double fraction,
+                                          HybridSelection selection,
+                                          std::uint64_t seed);
+
+}  // namespace hsbp::sbp

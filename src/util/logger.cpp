@@ -1,0 +1,48 @@
+#include "util/logger.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace hsbp::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+constexpr const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view message) {
+  std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (log_level() > level) return;
+  char buffer[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  log_line(level, buffer);
+}
+
+}  // namespace hsbp::util

@@ -1,0 +1,40 @@
+/// \file logger.hpp
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The library itself is quiet by default (Warn); the bench harness and
+/// examples raise the level to Info/Debug. The logger is a process-wide
+/// singleton guarded for concurrent use from OpenMP regions. Messages
+/// use printf-style formatting (checked by the compiler).
+#pragma once
+
+#include <string_view>
+
+namespace hsbp::util {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets/gets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes one formatted line ("[level] message\n") to stderr under a lock.
+void log_line(LogLevel level, std::string_view message);
+
+/// printf-style logging at each level; drops the message cheaply when
+/// below the global threshold.
+[[gnu::format(printf, 2, 3)]]
+void logf(LogLevel level, const char* fmt, ...);
+
+#define HSBP_LOG_AT(level_, ...)                         \
+  do {                                                   \
+    if (::hsbp::util::log_level() <= (level_)) {         \
+      ::hsbp::util::logf((level_), __VA_ARGS__);         \
+    }                                                    \
+  } while (false)
+
+#define HSBP_LOG_DEBUG(...) HSBP_LOG_AT(::hsbp::util::LogLevel::Debug, __VA_ARGS__)
+#define HSBP_LOG_INFO(...) HSBP_LOG_AT(::hsbp::util::LogLevel::Info, __VA_ARGS__)
+#define HSBP_LOG_WARN(...) HSBP_LOG_AT(::hsbp::util::LogLevel::Warn, __VA_ARGS__)
+#define HSBP_LOG_ERROR(...) HSBP_LOG_AT(::hsbp::util::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace hsbp::util

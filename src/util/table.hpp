@@ -1,0 +1,45 @@
+/// \file table.hpp
+/// \brief ASCII table rendering for the bench harness: each paper
+/// table/figure bench prints its rows through this so the output is
+/// uniform and machine-greppable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hsbp::util {
+
+/// Column-aligned ASCII table with a header row. Cells are strings;
+/// helpers format numbers consistently (fixed precision, thousands-free).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  /// Fixed-point with `precision` digits after the decimal point.
+  Table& cell(double value, int precision = 3);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+
+  /// Renders with a separator under the header:
+  ///   name   | V    | E
+  ///   -------+------+------
+  ///   s1     | 1000 | 8000
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double the way the tables do (helper exposed for tests).
+std::string format_double(double value, int precision);
+
+}  // namespace hsbp::util

@@ -1,0 +1,23 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace hsbp::util {
+
+std::vector<std::pair<std::string, double>> PhaseTimers::totals() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, watch] : timers_) {
+    out.emplace_back(name, watch.total());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double PhaseTimers::grand_total() const noexcept {
+  double sum = 0.0;
+  for (const auto& [name, watch] : timers_) sum += watch.total();
+  return sum;
+}
+
+}  // namespace hsbp::util

@@ -1,0 +1,99 @@
+/// \file timer.hpp
+/// \brief Wall-clock timing utilities used by the evaluation harness to
+/// attribute runtime to the block-merge vs. MCMC phases (paper Fig. 2).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hsbp::util {
+
+/// Simple steady-clock timer: construct (or reset()) to start, elapsed()
+/// to read without stopping.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds since construction/reset.
+  double elapsed() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating stopwatch: repeatedly start()/stop(); total() is the sum
+/// of all completed intervals. Not thread-safe (one per measuring site).
+class Stopwatch {
+ public:
+  void start() noexcept {
+    running_ = true;
+    timer_.reset();
+  }
+
+  /// Stops and returns the length of the just-finished interval.
+  double stop() noexcept {
+    if (!running_) return 0.0;
+    running_ = false;
+    const double interval = timer_.elapsed();
+    total_ += interval;
+    ++laps_;
+    return interval;
+  }
+
+  double total() const noexcept { return total_; }
+  std::uint64_t laps() const noexcept { return laps_; }
+
+  void clear() noexcept {
+    total_ = 0.0;
+    laps_ = 0;
+    running_ = false;
+  }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  std::uint64_t laps_ = 0;
+  bool running_ = false;
+};
+
+/// Named collection of stopwatches, used by eval::Runner to report the
+/// per-phase execution-time breakdown.
+class PhaseTimers {
+ public:
+  Stopwatch& operator[](const std::string& name) { return timers_[name]; }
+
+  /// (name, total seconds) pairs sorted by name for stable reporting.
+  std::vector<std::pair<std::string, double>> totals() const;
+
+  /// Sum of all phase totals.
+  double grand_total() const noexcept;
+
+  void clear() noexcept { timers_.clear(); }
+
+ private:
+  std::unordered_map<std::string, Stopwatch> timers_;
+};
+
+/// RAII interval: starts `watch` on construction, stops on destruction.
+class ScopedInterval {
+ public:
+  explicit ScopedInterval(Stopwatch& watch) noexcept : watch_(watch) {
+    watch_.start();
+  }
+  ~ScopedInterval() { watch_.stop(); }
+  ScopedInterval(const ScopedInterval&) = delete;
+  ScopedInterval& operator=(const ScopedInterval&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+}  // namespace hsbp::util

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/mdl.hpp"
+#include "blockmodel/merge_delta.hpp"
+#include "blockmodel/vertex_move_delta.hpp"
+#include "generator/dcsbm.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::blockmodel {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+Graph hand_graph() {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {0, 3},
+                                   {3, 4}, {4, 3}, {1, 1}, {0, 3}};
+  return Graph::from_edges(5, edges);
+}
+
+TEST(GatherNeighborBlocks, HandComputed) {
+  const Graph g = hand_graph();
+  const std::vector<std::int32_t> assignment = {0, 0, 0, 1, 1};
+  const auto nb = gather_neighbor_blocks(g, assignment, 0);
+  EXPECT_EQ(nb.degree_out, 3);  // 0→1 and 0→3 twice
+  EXPECT_EQ(nb.degree_in, 1);   // 2→0
+  EXPECT_EQ(nb.self_loops, 0);
+  // Out: block0 ×1 (0→1), block1 ×2 (0→3 twice).
+  Count out_block0 = 0, out_block1 = 0;
+  for (const auto& [b, c] : nb.out) {
+    if (b == 0) out_block0 = c;
+    if (b == 1) out_block1 = c;
+  }
+  EXPECT_EQ(out_block0, 1);
+  EXPECT_EQ(out_block1, 2);
+  // In: block0 ×1 (2→0).
+  ASSERT_EQ(nb.in.size(), 1u);
+  EXPECT_EQ(nb.in[0].first, 0);
+  EXPECT_EQ(nb.in[0].second, 1);
+}
+
+TEST(GatherNeighborBlocks, SelfLoopSeparated) {
+  const Graph g = hand_graph();
+  const std::vector<std::int32_t> assignment = {0, 0, 0, 1, 1};
+  const auto nb = gather_neighbor_blocks(g, assignment, 1);
+  EXPECT_EQ(nb.self_loops, 1);
+  EXPECT_EQ(nb.degree_out, 2);  // 1→2 and 1→1
+  EXPECT_EQ(nb.degree_in, 2);   // 0→1 and 1→1
+  // Neither out nor in lists contain the self-loop.
+  Count listed = 0;
+  for (const auto& [b, c] : nb.out) listed += c;
+  for (const auto& [b, c] : nb.in) listed += c;
+  EXPECT_EQ(listed, 2);
+}
+
+TEST(VertexMoveDelta, MatchesFullRecomputeOnHandGraph) {
+  const Graph g = hand_graph();
+  const std::vector<std::int32_t> assignment = {0, 0, 0, 1, 1};
+  auto b = Blockmodel::from_assignment(g, assignment, 2);
+  const double before = mdl(b, g.num_vertices(), g.num_edges());
+
+  const auto nb = gather_neighbor_blocks(g, assignment, 2);
+  const auto delta = vertex_move_delta(b, 0, 1, nb);
+
+  b.move_vertex(g, 2, 1);
+  const double after = mdl(b, g.num_vertices(), g.num_edges());
+  EXPECT_NEAR(delta.delta_mdl, after - before, 1e-9);
+}
+
+TEST(VertexMoveDelta, NewValueReflectsCellDeltas) {
+  const Graph g = hand_graph();
+  const std::vector<std::int32_t> assignment = {0, 0, 0, 1, 1};
+  auto b = Blockmodel::from_assignment(g, assignment, 2);
+  const auto nb = gather_neighbor_blocks(g, assignment, 2);
+  const auto delta = vertex_move_delta(b, 0, 1, nb);
+
+  auto moved = b;
+  moved.move_vertex(g, 2, 1);
+  for (BlockId r = 0; r < 2; ++r) {
+    for (BlockId s = 0; s < 2; ++s) {
+      EXPECT_EQ(delta.new_value(b, r, s), moved.matrix().get(r, s))
+          << "cell (" << r << "," << s << ")";
+    }
+  }
+}
+
+/// The core property: the O(deg) delta equals the brute-force MDL
+/// difference for random graphs, random states, random moves.
+class MoveDeltaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MoveDeltaProperty, DeltaEqualsRecompute) {
+  generator::DcsbmParams params;
+  params.num_vertices = 80;
+  params.num_communities = 5;
+  params.num_edges = 640;
+  params.seed = GetParam();
+  const auto generated = generator::generate_dcsbm(params);
+  const Graph& g = generated.graph;
+
+  util::Rng rng(GetParam() * 977 + 13);
+  // Random (not ground-truth) state to cover messy matrices.
+  std::vector<std::int32_t> state(80);
+  for (auto& label : state) {
+    label = static_cast<std::int32_t>(rng.uniform_int(5));
+  }
+  auto b = Blockmodel::from_assignment(g, state, 5);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto v = static_cast<Vertex>(rng.uniform_int(80));
+    const BlockId from = b.block_of(v);
+    const auto to = static_cast<BlockId>(rng.uniform_int(5));
+    if (to == from || b.block_size(from) <= 1) continue;
+
+    const auto nb = gather_neighbor_blocks(g, b.assignment(), v);
+    const auto delta = vertex_move_delta(b, from, to, nb);
+
+    const double before = mdl(b, g.num_vertices(), g.num_edges());
+    auto moved = b;
+    moved.move_vertex(g, v, to);
+    const double after = mdl(moved, g.num_vertices(), g.num_edges());
+
+    EXPECT_NEAR(delta.delta_mdl, after - before, 1e-8)
+        << "v=" << v << " from=" << from << " to=" << to;
+
+    // Walk the chain: apply the move so later trials see fresh states.
+    b = std::move(moved);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoveDeltaProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           111));
+
+/// Merge delta property: equals recompute after relabel+compact.
+class MergeDeltaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergeDeltaProperty, DeltaEqualsRecompute) {
+  generator::DcsbmParams params;
+  params.num_vertices = 90;
+  params.num_communities = 6;
+  params.num_edges = 700;
+  params.seed = GetParam();
+  const auto generated = generator::generate_dcsbm(params);
+  const Graph& g = generated.graph;
+
+  const auto b =
+      Blockmodel::from_assignment(g, generated.ground_truth, 6);
+  const double before = mdl(b, g.num_vertices(), g.num_edges());
+
+  util::Rng rng(GetParam() + 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto from = static_cast<BlockId>(rng.uniform_int(6));
+    const auto to = static_cast<BlockId>(rng.uniform_int(6));
+    if (from == to) continue;
+
+    const double delta =
+        merge_delta_mdl(b, from, to, g.num_vertices(), g.num_edges());
+
+    // Brute force: relabel from→to, compact labels, rebuild with C−1.
+    std::vector<std::int32_t> merged(b.assignment());
+    for (auto& label : merged) {
+      if (label == from) label = to;
+      if (label > from) --label;  // compact: labels above `from` shift down
+    }
+    const auto b_merged = Blockmodel::from_assignment(g, merged, 5);
+    const double after = mdl(b_merged, g.num_vertices(), g.num_edges());
+
+    EXPECT_NEAR(delta, after - before, 1e-8)
+        << "merge " << from << " into " << to;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeDeltaProperty,
+                         ::testing::Values(3, 6, 9, 12, 15, 18));
+
+TEST(VertexMoveDelta, SelfLoopVertexMove) {
+  // Vertex with only a self-loop: moving it must keep ΔMDL consistent.
+  const std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 2}, {2, 1}};
+  const Graph g = Graph::from_edges(3, edges);
+  const std::vector<std::int32_t> assignment = {0, 1, 1};
+  auto b = Blockmodel::from_assignment(g, assignment, 2);
+  const auto nb = gather_neighbor_blocks(g, assignment, 0);
+  EXPECT_EQ(nb.self_loops, 1);
+
+  // Can't test 0→1 leaving block 0 empty via the MDL of 2 blocks with an
+  // empty row — instead verify the delta math against direct recompute
+  // with the empty block retained.
+  const auto delta = vertex_move_delta(b, 0, 1, nb);
+  const double before = mdl(b, g.num_vertices(), g.num_edges());
+  auto moved = b;
+  moved.move_vertex(g, 0, 1);
+  const double after = mdl(moved, g.num_vertices(), g.num_edges());
+  EXPECT_NEAR(delta.delta_mdl, after - before, 1e-9);
+}
+
+}  // namespace
+}  // namespace hsbp::blockmodel

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "blockmodel/dense_matrix.hpp"
+#include "blockmodel/dict_transpose_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::blockmodel {
+namespace {
+
+TEST(DenseMatrix, StartsEmpty) {
+  const DenseMatrix m(3);
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_EQ(m.nonzeros(), 0u);
+  EXPECT_EQ(m.get(1, 2), 0);
+}
+
+TEST(DenseMatrix, AddAndSums) {
+  DenseMatrix m(3);
+  m.add(0, 1, 5);
+  m.add(0, 2, 2);
+  m.add(2, 1, 3);
+  EXPECT_EQ(m.get(0, 1), 5);
+  EXPECT_EQ(m.total(), 10);
+  EXPECT_EQ(m.row_sum(0), 7);
+  EXPECT_EQ(m.col_sum(1), 8);
+  EXPECT_EQ(m.nonzeros(), 3u);
+}
+
+TEST(DenseMatrix, RoundTripThroughSparse) {
+  util::Rng rng(55);
+  DictTransposeMatrix sparse(12);
+  for (int i = 0; i < 200; ++i) {
+    sparse.add(static_cast<BlockId>(rng.uniform_int(12)),
+               static_cast<BlockId>(rng.uniform_int(12)),
+               static_cast<Count>(1 + rng.uniform_int(5)));
+  }
+  const DenseMatrix dense = DenseMatrix::from_sparse(sparse);
+  EXPECT_TRUE(dense.equals(sparse));
+  EXPECT_EQ(dense.total(), sparse.total());
+  EXPECT_EQ(dense.nonzeros(), sparse.nonzeros());
+
+  const DictTransposeMatrix back = dense.to_sparse();
+  EXPECT_TRUE(dense.equals(back));
+  EXPECT_TRUE(back.check_consistency());
+}
+
+TEST(DenseMatrix, SumsMatchSparseDegrees) {
+  util::Rng rng(56);
+  DictTransposeMatrix sparse(8);
+  for (int i = 0; i < 100; ++i) {
+    sparse.add(static_cast<BlockId>(rng.uniform_int(8)),
+               static_cast<BlockId>(rng.uniform_int(8)), 1);
+  }
+  const DenseMatrix dense = DenseMatrix::from_sparse(sparse);
+  for (BlockId r = 0; r < 8; ++r) {
+    Count row_expected = 0;
+    for (const auto& [c, v] : sparse.row(r)) {
+      (void)c;
+      row_expected += v;
+    }
+    EXPECT_EQ(dense.row_sum(r), row_expected);
+    Count col_expected = 0;
+    for (const auto& [c, v] : sparse.col(r)) {
+      (void)c;
+      col_expected += v;
+    }
+    EXPECT_EQ(dense.col_sum(r), col_expected);
+  }
+}
+
+TEST(DenseMatrix, NegativeDeltasCancel) {
+  DenseMatrix m(2);
+  m.add(1, 1, 4);
+  m.add(1, 1, -4);
+  EXPECT_EQ(m.get(1, 1), 0);
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_EQ(m.nonzeros(), 0u);
+}
+
+TEST(DenseMatrix, EqualsDetectsMismatch) {
+  DictTransposeMatrix sparse(2);
+  sparse.add(0, 1, 2);
+  DenseMatrix dense(2);
+  dense.add(0, 1, 2);
+  EXPECT_TRUE(dense.equals(sparse));
+  dense.add(1, 0, 1);
+  EXPECT_FALSE(dense.equals(sparse));
+  const DictTransposeMatrix bigger(3);
+  EXPECT_FALSE(dense.equals(bigger));
+}
+
+}  // namespace
+}  // namespace hsbp::blockmodel

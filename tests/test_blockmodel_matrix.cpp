@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "blockmodel/dict_transpose_matrix.hpp"
+
+namespace hsbp::blockmodel {
+namespace {
+
+TEST(DictTransposeMatrix, StartsEmpty) {
+  const DictTransposeMatrix m(4);
+  EXPECT_EQ(m.size(), 4);
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_EQ(m.nonzeros(), 0u);
+  EXPECT_EQ(m.get(0, 0), 0);
+  EXPECT_TRUE(m.check_consistency());
+}
+
+TEST(DictTransposeMatrix, AddAndGet) {
+  DictTransposeMatrix m(3);
+  m.add(0, 1, 5);
+  m.add(1, 2, 2);
+  EXPECT_EQ(m.get(0, 1), 5);
+  EXPECT_EQ(m.get(1, 0), 0);
+  EXPECT_EQ(m.get(1, 2), 2);
+  EXPECT_EQ(m.total(), 7);
+  EXPECT_EQ(m.nonzeros(), 2u);
+  EXPECT_TRUE(m.check_consistency());
+}
+
+TEST(DictTransposeMatrix, RowAndColumnMirror) {
+  DictTransposeMatrix m(3);
+  m.add(0, 1, 3);
+  m.add(2, 1, 4);
+  const auto& col = m.col(1);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.at(0), 3);
+  EXPECT_EQ(col.at(2), 4);
+  const auto& row = m.row(0);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row.at(1), 3);
+}
+
+TEST(DictTransposeMatrix, ZeroCellsAreErased) {
+  DictTransposeMatrix m(2);
+  m.add(0, 1, 3);
+  m.add(0, 1, -3);
+  EXPECT_EQ(m.get(0, 1), 0);
+  EXPECT_EQ(m.nonzeros(), 0u);
+  EXPECT_TRUE(m.row(0).empty());
+  EXPECT_TRUE(m.col(1).empty());
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_TRUE(m.check_consistency());
+}
+
+TEST(DictTransposeMatrix, AddZeroIsNoop) {
+  DictTransposeMatrix m(2);
+  m.add(0, 0, 0);
+  EXPECT_EQ(m.nonzeros(), 0u);
+}
+
+TEST(DictTransposeMatrix, DiagonalCellAppearsOnceInRowAndCol) {
+  DictTransposeMatrix m(2);
+  m.add(1, 1, 6);
+  EXPECT_EQ(m.get(1, 1), 6);
+  EXPECT_EQ(m.row(1).size(), 1u);
+  EXPECT_EQ(m.col(1).size(), 1u);
+  EXPECT_TRUE(m.check_consistency());
+}
+
+TEST(DictTransposeMatrix, IncrementalUpdatesAccumulate) {
+  DictTransposeMatrix m(4);
+  for (int i = 0; i < 10; ++i) m.add(2, 3, 1);
+  m.add(2, 3, -4);
+  EXPECT_EQ(m.get(2, 3), 6);
+  EXPECT_EQ(m.total(), 6);
+  EXPECT_TRUE(m.check_consistency());
+}
+
+}  // namespace
+}  // namespace hsbp::blockmodel

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/mdl.hpp"
+#include "graph/graph.hpp"
+
+namespace hsbp::blockmodel {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+TEST(Xlogx, Basics) {
+  EXPECT_DOUBLE_EQ(xlogx(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(xlogx(1.0), 0.0);
+  EXPECT_NEAR(xlogx(2.0), 2.0 * std::log(2.0), 1e-12);
+  EXPECT_NEAR(xlogx(std::exp(1.0)), std::exp(1.0), 1e-12);
+}
+
+TEST(HFunction, Basics) {
+  EXPECT_DOUBLE_EQ(h_function(0.0), 0.0);
+  // h(1) = 2 log 2 − 0.
+  EXPECT_NEAR(h_function(1.0), 2.0 * std::log(2.0), 1e-12);
+  // h is increasing on small x.
+  EXPECT_GT(h_function(0.2), h_function(0.1));
+}
+
+TEST(ModelDescriptionLength, Formula) {
+  // E=100, V=50, C=4: E·h(16/100) + 50·log 4.
+  const double expected =
+      100.0 * h_function(0.16) + 50.0 * std::log(4.0);
+  EXPECT_NEAR(model_description_length(50, 100, 4), expected, 1e-9);
+}
+
+TEST(ModelDescriptionLength, OneBlockNearZero) {
+  // C=1: V·log 1 = 0, leaving only E·h(1/E) → small.
+  const double v = model_description_length(100, 1000, 1);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 20.0);
+}
+
+TEST(LogLikelihood, HandComputedTwoBlocks) {
+  // Two blocks, M = [[4,2],[0,2]], d_out = (6,2), d_in = (4,4).
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {0, 3},
+                                   {3, 4}, {4, 3}, {1, 1}, {0, 3}};
+  const Graph g = Graph::from_edges(5, edges);
+  const std::vector<std::int32_t> assignment = {0, 0, 0, 1, 1};
+  const auto b = Blockmodel::from_assignment(g, assignment, 2);
+
+  // Direct Eq. 1: Σ M_rs log(M_rs / (d_out_r d_in_s)).
+  double expected = 0.0;
+  const double m[2][2] = {{4, 2}, {0, 2}};
+  const double d_out[2] = {6, 2};
+  const double d_in[2] = {4, 4};
+  for (int r = 0; r < 2; ++r) {
+    for (int s = 0; s < 2; ++s) {
+      if (m[r][s] > 0) {
+        expected += m[r][s] * std::log(m[r][s] / (d_out[r] * d_in[s]));
+      }
+    }
+  }
+  EXPECT_NEAR(log_likelihood(b), expected, 1e-9);
+}
+
+TEST(LogLikelihood, DecompositionMatchesDirectForm) {
+  // On a random-ish small graph, the xlogx decomposition used by
+  // log_likelihood must equal the direct Eq. 1 sum.
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {0, 2},
+                                   {4, 4}, {4, 1}, {3, 4}, {2, 2}};
+  const Graph g = Graph::from_edges(5, edges);
+  const std::vector<std::int32_t> assignment = {0, 1, 2, 0, 1};
+  const auto b = Blockmodel::from_assignment(g, assignment, 3);
+
+  double direct = 0.0;
+  for (BlockId r = 0; r < 3; ++r) {
+    for (const auto& [s, count] : b.matrix().row(r)) {
+      direct += static_cast<double>(count) *
+                std::log(static_cast<double>(count) /
+                         (static_cast<double>(b.degree_out(r)) *
+                          static_cast<double>(b.degree_in(s))));
+    }
+  }
+  EXPECT_NEAR(log_likelihood(b), direct, 1e-9);
+}
+
+TEST(Mdl, CombinesModelAndLikelihood) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  const Graph g = Graph::from_edges(4, edges);
+  const std::vector<std::int32_t> assignment = {0, 0, 1, 1};
+  const auto b = Blockmodel::from_assignment(g, assignment, 2);
+  const double expected =
+      model_description_length(4, 4, 2) - log_likelihood(b);
+  EXPECT_NEAR(mdl(b, 4, 4), expected, 1e-12);
+}
+
+TEST(NullMdl, MatchesOneBlockPartition) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {0, 2}, {1, 1}};
+  const Graph g = Graph::from_edges(3, edges);
+  const std::vector<std::int32_t> ones(3, 0);
+  const auto b = Blockmodel::from_assignment(g, ones, 1);
+  EXPECT_NEAR(null_mdl(g.num_vertices(), g.num_edges()),
+              mdl(b, g.num_vertices(), g.num_edges()), 1e-9);
+}
+
+TEST(NullMdl, DegenerateInputs) {
+  EXPECT_EQ(null_mdl(10, 0), 0.0);
+}
+
+TEST(Mdl, GoodPartitionBeatsBadPartition) {
+  // Two disconnected bidirected triangles: the true 2-block split must
+  // have lower MDL than a mixed split.
+  std::vector<Edge> edges;
+  for (int i = 0; i < 3; ++i) {
+    const auto a = static_cast<graph::Vertex>(i);
+    const auto b2 = static_cast<graph::Vertex>((i + 1) % 3);
+    edges.emplace_back(a, b2);
+    edges.emplace_back(b2, a);
+    edges.emplace_back(static_cast<graph::Vertex>(3 + i),
+                       static_cast<graph::Vertex>(3 + (i + 1) % 3));
+    edges.emplace_back(static_cast<graph::Vertex>(3 + (i + 1) % 3),
+                       static_cast<graph::Vertex>(3 + i));
+  }
+  const Graph g = Graph::from_edges(6, edges);
+  const std::vector<std::int32_t> good = {0, 0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> bad = {0, 1, 0, 1, 0, 1};
+  const auto b_good = Blockmodel::from_assignment(g, good, 2);
+  const auto b_bad = Blockmodel::from_assignment(g, bad, 2);
+  EXPECT_LT(mdl(b_good, 6, 12), mdl(b_bad, 6, 12));
+}
+
+}  // namespace
+}  // namespace hsbp::blockmodel

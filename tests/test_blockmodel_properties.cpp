@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/mdl.hpp"
+#include "generator/dcsbm.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/pairwise.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::blockmodel {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// Applies a random label permutation to an assignment.
+std::vector<std::int32_t> permute_labels(
+    const std::vector<std::int32_t>& assignment, std::int32_t num_blocks,
+    util::Rng& rng) {
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(num_blocks));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  std::vector<std::int32_t> out(assignment.size());
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    out[i] = perm[static_cast<std::size_t>(assignment[i])];
+  }
+  return out;
+}
+
+class RelabelInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelabelInvariance, MdlIsInvariantUnderLabelPermutation) {
+  generator::DcsbmParams p;
+  p.num_vertices = 150;
+  p.num_communities = 6;
+  p.num_edges = 1200;
+  p.seed = GetParam();
+  const auto g = generator::generate_dcsbm(p);
+
+  util::Rng rng(GetParam() * 3 + 1);
+  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 6);
+  const double original = mdl(b, g.graph.num_vertices(), g.graph.num_edges());
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto permuted = permute_labels(g.ground_truth, 6, rng);
+    const auto pb = Blockmodel::from_assignment(g.graph, permuted, 6);
+    EXPECT_NEAR(mdl(pb, g.graph.num_vertices(), g.graph.num_edges()),
+                original, 1e-8);
+  }
+}
+
+TEST_P(RelabelInvariance, MetricsAreInvariantUnderLabelPermutation) {
+  generator::DcsbmParams p;
+  p.num_vertices = 150;
+  p.num_communities = 6;
+  p.num_edges = 1200;
+  p.seed = GetParam();
+  const auto g = generator::generate_dcsbm(p);
+
+  util::Rng rng(GetParam() * 7 + 5);
+  // A degraded labeling so metrics are non-trivial.
+  std::vector<std::int32_t> noisy = g.ground_truth;
+  for (auto& label : noisy) {
+    if (rng.uniform() < 0.2) {
+      label = static_cast<std::int32_t>(rng.uniform_int(6));
+    }
+  }
+  const double nmi0 = metrics::nmi(g.ground_truth, noisy);
+  const double ari0 = metrics::adjusted_rand_index(g.ground_truth, noisy);
+  const double mod0 = metrics::modularity(g.graph, noisy);
+
+  const auto permuted = permute_labels(noisy, 6, rng);
+  EXPECT_NEAR(metrics::nmi(g.ground_truth, permuted), nmi0, 1e-10);
+  EXPECT_NEAR(metrics::adjusted_rand_index(g.ground_truth, permuted), ari0,
+              1e-10);
+  EXPECT_NEAR(metrics::modularity(g.graph, permuted), mod0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelabelInvariance,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(MdlBounds, ModelTermGrowsWithBlockCount) {
+  // E·h(C²/E) + V·log C is increasing in C for fixed V, E.
+  double previous = 0.0;
+  for (BlockId c = 1; c <= 64; c *= 2) {
+    const double value = model_description_length(1000, 10000, c);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(MdlBounds, FinerTruePartitionLowersMdlOnStructuredGraph) {
+  // Ground truth must beat both the 1-block null and random partitions
+  // of the same size on a strongly structured graph.
+  generator::DcsbmParams p;
+  p.num_vertices = 400;
+  p.num_communities = 8;
+  p.num_edges = 4000;
+  p.ratio_within_between = 6.0;
+  p.seed = 505;
+  const auto g = generator::generate_dcsbm(p);
+
+  const auto truth = Blockmodel::from_assignment(g.graph, g.ground_truth, 8);
+  const double truth_mdl =
+      mdl(truth, g.graph.num_vertices(), g.graph.num_edges());
+  EXPECT_LT(truth_mdl,
+            null_mdl(g.graph.num_vertices(), g.graph.num_edges()));
+
+  util::Rng rng(506);
+  std::vector<std::int32_t> random_state(400);
+  for (auto& label : random_state) {
+    label = static_cast<std::int32_t>(rng.uniform_int(8));
+  }
+  const auto random_b =
+      Blockmodel::from_assignment(g.graph, random_state, 8);
+  EXPECT_LT(truth_mdl,
+            mdl(random_b, g.graph.num_vertices(), g.graph.num_edges()));
+}
+
+TEST(MetricAgreement, PerfectRecoveryAgreesAcrossMetrics) {
+  const std::vector<std::int32_t> x = {0, 0, 1, 1, 2, 2, 0, 1, 2};
+  const std::vector<std::int32_t> y = {2, 2, 0, 0, 1, 1, 2, 0, 1};
+  EXPECT_NEAR(metrics::nmi(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(metrics::adjusted_rand_index(x, y), 1.0, 1e-12);
+  const auto pw = metrics::pairwise_scores(x, y);
+  EXPECT_NEAR(pw.f1, 1.0, 1e-12);
+}
+
+TEST(MetricAgreement, DegradationMovesAllMetricsDown) {
+  generator::DcsbmParams p;
+  p.num_vertices = 300;
+  p.num_communities = 5;
+  p.num_edges = 2400;
+  p.seed = 507;
+  const auto g = generator::generate_dcsbm(p);
+
+  util::Rng rng(508);
+  double last_nmi = 1.1, last_ari = 1.1, last_f1 = 1.1;
+  for (const double noise : {0.0, 0.2, 0.5, 0.9}) {
+    std::vector<std::int32_t> noisy = g.ground_truth;
+    for (auto& label : noisy) {
+      if (rng.uniform() < noise) {
+        label = static_cast<std::int32_t>(rng.uniform_int(5));
+      }
+    }
+    const double n = metrics::nmi(g.ground_truth, noisy);
+    const double a = metrics::adjusted_rand_index(g.ground_truth, noisy);
+    const double f = metrics::pairwise_scores(g.ground_truth, noisy).f1;
+    EXPECT_LT(n, last_nmi);
+    EXPECT_LT(a, last_ari);
+    EXPECT_LT(f, last_f1);
+    last_nmi = n;
+    last_ari = a;
+    last_f1 = f;
+  }
+}
+
+}  // namespace
+}  // namespace hsbp::blockmodel

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "generator/dcsbm.hpp"
+#include "generator/power_law.hpp"
+#include "graph/degree.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::generator {
+namespace {
+
+DcsbmParams base_params() {
+  DcsbmParams p;
+  p.num_vertices = 500;
+  p.num_communities = 5;
+  p.num_edges = 4000;
+  p.ratio_within_between = 3.0;
+  p.degree_exponent = 2.5;
+  p.min_degree = 1;
+  p.max_degree = 60;
+  p.seed = 11;
+  return p;
+}
+
+TEST(PowerLawSampler, SamplesStayInRange) {
+  util::Rng rng(3);
+  PowerLawSampler sampler(2, 50, 2.5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto d = sampler.sample(rng);
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 50);
+  }
+}
+
+TEST(PowerLawSampler, EmpiricalMeanMatchesAnalytic) {
+  util::Rng rng(5);
+  PowerLawSampler sampler(1, 100, 2.2);
+  double sum = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(sampler.sample(rng));
+  EXPECT_NEAR(sum / n, sampler.mean(), 0.05 * sampler.mean());
+}
+
+TEST(PowerLawSampler, ExponentZeroIsUniform) {
+  util::Rng rng(7);
+  PowerLawSampler sampler(1, 4, 0.0);
+  std::array<int, 5> counts{};
+  constexpr int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(sampler.sample(rng))];
+  for (int v = 1; v <= 4; ++v) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(v)] / static_cast<double>(n),
+                0.25, 0.02);
+  }
+}
+
+TEST(PowerLawSampler, SingletonSupport) {
+  util::Rng rng(9);
+  PowerLawSampler sampler(7, 7, 3.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 7);
+  EXPECT_DOUBLE_EQ(sampler.mean(), 7.0);
+}
+
+TEST(PowerLawSampler, RejectsBadRange) {
+  EXPECT_THROW(PowerLawSampler(0, 10, 2.0), std::invalid_argument);
+  EXPECT_THROW(PowerLawSampler(5, 4, 2.0), std::invalid_argument);
+}
+
+TEST(Dcsbm, ProducesRequestedCounts) {
+  const auto g = generate_dcsbm(base_params());
+  EXPECT_EQ(g.graph.num_vertices(), 500);
+  EXPECT_EQ(g.graph.num_edges(), 4000);
+  EXPECT_EQ(g.ground_truth.size(), 500u);
+}
+
+TEST(Dcsbm, GroundTruthLabelsValidAndAllUsed) {
+  const auto g = generate_dcsbm(base_params());
+  std::set<std::int32_t> used;
+  for (const auto label : g.ground_truth) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+    used.insert(label);
+  }
+  EXPECT_EQ(used.size(), 5u);  // every community non-empty
+}
+
+TEST(Dcsbm, DeterministicForFixedSeed) {
+  const auto a = generate_dcsbm(base_params());
+  const auto b = generate_dcsbm(base_params());
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+}
+
+TEST(Dcsbm, DifferentSeedsDiffer) {
+  auto p = base_params();
+  const auto a = generate_dcsbm(p);
+  p.seed = 12;
+  const auto b = generate_dcsbm(p);
+  EXPECT_NE(a.graph.edges(), b.graph.edges());
+}
+
+TEST(Dcsbm, ValidationErrors) {
+  auto p = base_params();
+  p.num_vertices = 0;
+  EXPECT_THROW(generate_dcsbm(p), std::invalid_argument);
+  p = base_params();
+  p.num_communities = 0;
+  EXPECT_THROW(generate_dcsbm(p), std::invalid_argument);
+  p = base_params();
+  p.num_communities = p.num_vertices + 1;
+  EXPECT_THROW(generate_dcsbm(p), std::invalid_argument);
+  p = base_params();
+  p.num_edges = 0;
+  EXPECT_THROW(generate_dcsbm(p), std::invalid_argument);
+  p = base_params();
+  p.ratio_within_between = 0.0;
+  EXPECT_THROW(generate_dcsbm(p), std::invalid_argument);
+  p = base_params();
+  p.min_degree = 0;
+  EXPECT_THROW(generate_dcsbm(p), std::invalid_argument);
+  p = base_params();
+  p.max_degree = 0;
+  EXPECT_THROW(generate_dcsbm(p), std::invalid_argument);
+  p = base_params();
+  p.community_size_exponent = -1.0;
+  EXPECT_THROW(generate_dcsbm(p), std::invalid_argument);
+}
+
+TEST(Dcsbm, SingleCommunityWorks) {
+  auto p = base_params();
+  p.num_communities = 1;
+  const auto g = generate_dcsbm(p);
+  EXPECT_EQ(g.graph.num_edges(), p.num_edges);
+  for (const auto label : g.ground_truth) EXPECT_EQ(label, 0);
+}
+
+TEST(Dcsbm, HeterogeneousSizesSkewCommunitySizes) {
+  auto p = base_params();
+  p.num_vertices = 2000;
+  p.community_size_exponent = 1.2;
+  const auto g = generate_dcsbm(p);
+  std::vector<int> sizes(5, 0);
+  for (const auto label : g.ground_truth) ++sizes[static_cast<std::size_t>(label)];
+  // Community 0 should be clearly larger than community 4.
+  EXPECT_GT(sizes[0], 2 * sizes[4]);
+}
+
+TEST(Dcsbm, DegreeDistributionIsHeavyTailed) {
+  auto p = base_params();
+  p.num_vertices = 3000;
+  p.num_edges = 30000;
+  p.max_degree = 300;
+  p.degree_exponent = 2.2;
+  const auto g = generate_dcsbm(p);
+  const auto degrees = graph::degree_sequence(g.graph);
+  const auto max_degree =
+      *std::max_element(degrees.begin(), degrees.end());
+  const double mean_degree =
+      2.0 * static_cast<double>(g.graph.num_edges()) /
+      static_cast<double>(g.graph.num_vertices());
+  // Heavy tail: the max is far above the mean.
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * mean_degree);
+}
+
+TEST(RealizedWithinRatio, PerfectlyAssortativeGraphIsInfinite) {
+  const std::vector<graph::Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  const auto g = graph::Graph::from_edges(4, edges);
+  const std::vector<std::int32_t> membership = {0, 0, 1, 1};
+  EXPECT_TRUE(std::isinf(realized_within_ratio(g, membership)));
+}
+
+TEST(RealizedWithinRatio, HandComputedMix) {
+  // 3 within, 1 between.
+  const std::vector<graph::Edge> edges = {{0, 1}, {1, 0}, {0, 0}, {0, 2}};
+  const auto g = graph::Graph::from_edges(3, edges);
+  const std::vector<std::int32_t> membership = {0, 0, 1};
+  EXPECT_DOUBLE_EQ(realized_within_ratio(g, membership), 3.0);
+}
+
+class RatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioSweep, RealizedRatioTracksRequested) {
+  auto p = base_params();
+  p.num_vertices = 2000;
+  p.num_edges = 20000;
+  p.ratio_within_between = GetParam();
+  const auto g = generate_dcsbm(p);
+  const double realized = realized_within_ratio(g.graph, g.ground_truth);
+  EXPECT_NEAR(realized, GetParam(), 0.25 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioSweep,
+                         ::testing::Values(0.5, 1.0, 1.5, 3.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace hsbp::generator

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "generator/dcsbm.hpp"
+
+namespace hsbp::generator {
+namespace {
+
+GeneratedGraph small_graph(std::uint64_t seed) {
+  DcsbmParams p;
+  p.num_vertices = 200;
+  p.num_communities = 4;
+  p.num_edges = 1600;
+  p.ratio_within_between = 5.0;
+  p.seed = seed;
+  return generate_dcsbm(p);
+}
+
+class OrderSweep : public ::testing::TestWithParam<StreamingOrder> {};
+
+TEST_P(OrderSweep, LastSnapshotIsTheFullGraph) {
+  const auto g = small_graph(1);
+  const auto parts = streaming_snapshots(g, 5, GetParam(), 7);
+  ASSERT_EQ(parts.snapshots.size(), 5u);
+  const auto& last = parts.snapshots.back();
+  EXPECT_EQ(last.num_vertices(), g.graph.num_vertices());
+  EXPECT_EQ(last.num_edges(), g.graph.num_edges());
+}
+
+TEST_P(OrderSweep, SnapshotsAreCumulative) {
+  const auto g = small_graph(2);
+  const auto parts = streaming_snapshots(g, 6, GetParam(), 8);
+  for (std::size_t i = 1; i < parts.snapshots.size(); ++i) {
+    EXPECT_GE(parts.snapshots[i].num_vertices(),
+              parts.snapshots[i - 1].num_vertices());
+    EXPECT_GE(parts.snapshots[i].num_edges(),
+              parts.snapshots[i - 1].num_edges());
+  }
+}
+
+TEST_P(OrderSweep, DeterministicForFixedSeed) {
+  const auto g = small_graph(3);
+  const auto a = streaming_snapshots(g, 4, GetParam(), 9);
+  const auto b = streaming_snapshots(g, 4, GetParam(), 9);
+  for (std::size_t i = 0; i < a.snapshots.size(); ++i) {
+    EXPECT_EQ(a.snapshots[i].edges(), b.snapshots[i].edges());
+  }
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+}
+
+TEST_P(OrderSweep, SinglePartIsJustTheGraph) {
+  const auto g = small_graph(4);
+  const auto parts = streaming_snapshots(g, 1, GetParam(), 10);
+  ASSERT_EQ(parts.snapshots.size(), 1u);
+  EXPECT_EQ(parts.snapshots[0].num_edges(), g.graph.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OrderSweep,
+                         ::testing::Values(StreamingOrder::EdgeSampling,
+                                           StreamingOrder::Snowball));
+
+TEST(EdgeSampling, AllSnapshotsSpanAllVertices) {
+  const auto g = small_graph(5);
+  const auto parts =
+      streaming_snapshots(g, 4, StreamingOrder::EdgeSampling, 11);
+  for (const auto& snapshot : parts.snapshots) {
+    EXPECT_EQ(snapshot.num_vertices(), g.graph.num_vertices());
+  }
+  EXPECT_EQ(parts.ground_truth, g.ground_truth);
+}
+
+TEST(EdgeSampling, PartsHaveBalancedEdgeCounts) {
+  const auto g = small_graph(6);
+  const auto parts =
+      streaming_snapshots(g, 4, StreamingOrder::EdgeSampling, 12);
+  const auto quarter = g.graph.num_edges() / 4;
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(parts.snapshots[i].num_edges(),
+              quarter * static_cast<graph::EdgeCount>(i + 1));
+  }
+}
+
+TEST(Snowball, VerticesGrowAndEdgesAreInduced) {
+  const auto g = small_graph(7);
+  const auto parts = streaming_snapshots(g, 4, StreamingOrder::Snowball, 13);
+  // Vertex counts follow the arrival quarters.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(parts.snapshots[i].num_vertices(),
+              static_cast<graph::Vertex>(200 * (i + 1) / 4));
+  }
+  // Every edge of snapshot k has both endpoints inside its vertex set
+  // (guaranteed by from_edges not throwing) and appears in the final
+  // graph with the same relabeled ids.
+  auto final_edges = parts.snapshots.back().edges();
+  std::sort(final_edges.begin(), final_edges.end());
+  auto early_edges = parts.snapshots[1].edges();
+  for (const auto& edge : early_edges) {
+    EXPECT_TRUE(std::binary_search(final_edges.begin(), final_edges.end(),
+                                   edge));
+  }
+}
+
+TEST(Snowball, GroundTruthIsRelabeledConsistently) {
+  const auto g = small_graph(8);
+  const auto parts = streaming_snapshots(g, 3, StreamingOrder::Snowball, 14);
+  // Same multiset of labels as the original ground truth.
+  auto original = g.ground_truth;
+  auto relabeled = parts.ground_truth;
+  std::sort(original.begin(), original.end());
+  std::sort(relabeled.begin(), relabeled.end());
+  EXPECT_EQ(original, relabeled);
+  // And the relabeled truth matches the final snapshot's realized
+  // within-ratio (only possible if edges and labels moved together).
+  EXPECT_NEAR(
+      realized_within_ratio(parts.snapshots.back(), parts.ground_truth),
+      realized_within_ratio(g.graph, g.ground_truth), 1e-9);
+}
+
+TEST(StreamingSnapshots, Validation) {
+  const auto g = small_graph(9);
+  EXPECT_THROW(
+      streaming_snapshots(g, 0, StreamingOrder::EdgeSampling, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsbp::generator

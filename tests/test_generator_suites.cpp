@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "generator/suites.hpp"
+
+namespace hsbp::generator {
+namespace {
+
+TEST(SyntheticSuite, HasTwentyFourUniqueIds) {
+  const auto suite = synthetic_suite(0.01, 1);
+  ASSERT_EQ(suite.size(), 24u);
+  std::set<std::string> ids;
+  for (const auto& entry : suite) ids.insert(entry.id);
+  EXPECT_EQ(ids.size(), 24u);
+  EXPECT_EQ(suite.front().id, "S1");
+  EXPECT_EQ(suite.back().id, "S24");
+}
+
+TEST(SyntheticSuite, PaperSizesMatchTableOne) {
+  const auto suite = synthetic_suite(0.01, 1);
+  EXPECT_EQ(suite[0].paper_vertices, 198101);
+  EXPECT_EQ(suite[0].paper_edges, 321071);
+  EXPECT_EQ(suite[7].paper_vertices, 225999);
+  EXPECT_EQ(suite[7].paper_edges, 6327321);
+}
+
+TEST(SyntheticSuite, ScalePreservesDensity) {
+  const auto suite = synthetic_suite(0.02, 1);
+  for (const auto& entry : suite) {
+    const double paper_density = static_cast<double>(entry.paper_edges) /
+                                 static_cast<double>(entry.paper_vertices);
+    const double scaled_density =
+        static_cast<double>(entry.params.num_edges) /
+        static_cast<double>(entry.params.num_vertices);
+    EXPECT_NEAR(scaled_density, paper_density, 0.2 * paper_density)
+        << entry.id;
+  }
+}
+
+TEST(SyntheticSuite, GroupsCarryTheThreeRatioLevels) {
+  const auto suite = synthetic_suite(0.01, 1);
+  EXPECT_DOUBLE_EQ(suite[0].params.ratio_within_between, 3.0);   // S1
+  EXPECT_DOUBLE_EQ(suite[8].params.ratio_within_between, 5.0);   // S9
+  EXPECT_DOUBLE_EQ(suite[16].params.ratio_within_between, 1.5);  // S17
+}
+
+TEST(SyntheticSuite, SeedsDifferAcrossEntries) {
+  const auto suite = synthetic_suite(0.01, 1);
+  std::set<std::uint64_t> seeds;
+  for (const auto& entry : suite) seeds.insert(entry.params.seed);
+  EXPECT_EQ(seeds.size(), suite.size());
+}
+
+TEST(SyntheticSuite, RejectsBadScale) {
+  EXPECT_THROW(synthetic_suite(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(synthetic_suite(-0.5, 1), std::invalid_argument);
+  EXPECT_THROW(synthetic_suite(1.5, 1), std::invalid_argument);
+}
+
+TEST(RealWorldSuite, HasFourteenNamedEntries) {
+  const auto suite = realworld_surrogate_suite(0.01, 2);
+  ASSERT_EQ(suite.size(), 14u);
+  EXPECT_EQ(suite.front().id, "rajat01");
+  EXPECT_EQ(suite.back().id, "flickr");
+}
+
+TEST(RealWorldSuite, PaperSizesMatchTableTwo) {
+  const auto suite = realworld_surrogate_suite(0.01, 2);
+  for (const auto& entry : suite) {
+    if (entry.id == "web-BerkStan") {
+      EXPECT_EQ(entry.paper_vertices, 685230);
+      EXPECT_EQ(entry.paper_edges, 7600595);
+    }
+    if (entry.id == "soc-Slashdot0902") {
+      EXPECT_EQ(entry.paper_vertices, 82168);
+      EXPECT_EQ(entry.paper_edges, 948464);
+    }
+  }
+}
+
+TEST(RealWorldSuite, GnutellaIsStructurePoor) {
+  const auto suite = realworld_surrogate_suite(0.01, 2);
+  for (const auto& entry : suite) {
+    if (entry.id == "p2p-Gnutella31") {
+      EXPECT_LT(entry.params.ratio_within_between, 1.2);
+    } else {
+      EXPECT_GE(entry.params.ratio_within_between, 2.0);
+    }
+  }
+}
+
+TEST(Suites, GenerateProducesNamedGraph) {
+  const auto suite = synthetic_suite(0.005, 3);
+  const auto g = generate(suite[1]);
+  EXPECT_EQ(g.name, "S2");
+  EXPECT_EQ(g.graph.num_vertices(), suite[1].params.num_vertices);
+  EXPECT_EQ(g.graph.num_edges(), suite[1].params.num_edges);
+}
+
+TEST(Suites, ScaledGraphsAreGenerable) {
+  // Every suite entry must produce a valid graph at bench scale.
+  for (const auto& entry : synthetic_suite(0.004, 4)) {
+    const auto g = generate(entry);
+    EXPECT_GT(g.graph.num_vertices(), 0) << entry.id;
+    EXPECT_GT(g.graph.num_edges(), 0) << entry.id;
+  }
+  for (const auto& entry : realworld_surrogate_suite(0.004, 4)) {
+    const auto g = generate(entry);
+    EXPECT_GT(g.graph.num_vertices(), 0) << entry.id;
+  }
+}
+
+}  // namespace
+}  // namespace hsbp::generator

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "generator/power_law.hpp"
+#include "graph/degree.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::graph {
+namespace {
+
+Graph star_plus_chain() {
+  // Vertex 0 is a hub (degree 6); 4-5-6 a chain.
+  const std::vector<Edge> edges = {{0, 1}, {0, 2}, {0, 3}, {1, 0},
+                                   {2, 0}, {3, 0}, {4, 5}, {5, 6}};
+  return Graph::from_edges(7, edges);
+}
+
+TEST(DegreeSequence, MatchesPerVertexDegrees) {
+  const Graph g = star_plus_chain();
+  const auto degrees = degree_sequence(g);
+  ASSERT_EQ(degrees.size(), 7u);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(degrees[static_cast<std::size_t>(v)], g.degree(v));
+  }
+  EXPECT_EQ(degrees[0], 6);
+}
+
+TEST(VerticesByDegree, DescendingWithStableTies) {
+  const Graph g = star_plus_chain();
+  const auto order = vertices_by_degree_desc(g);
+  ASSERT_EQ(order.size(), 7u);
+  EXPECT_EQ(order[0], 0);  // the hub first
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const EdgeCount prev = g.degree(order[i - 1]);
+    const EdgeCount curr = g.degree(order[i]);
+    EXPECT_GE(prev, curr);
+    if (prev == curr) EXPECT_LT(order[i - 1], order[i]);  // tie → id order
+  }
+}
+
+TEST(SplitByDegree, FractionZeroPutsEverythingLow) {
+  const Graph g = star_plus_chain();
+  const auto split = split_by_degree(g, 0.0);
+  EXPECT_TRUE(split.high.empty());
+  EXPECT_EQ(split.low.size(), 7u);
+}
+
+TEST(SplitByDegree, FractionOnePutsEverythingHigh) {
+  const Graph g = star_plus_chain();
+  const auto split = split_by_degree(g, 1.0);
+  EXPECT_EQ(split.high.size(), 7u);
+  EXPECT_TRUE(split.low.empty());
+}
+
+TEST(SplitByDegree, PaperFractionCeilsCount) {
+  const Graph g = star_plus_chain();
+  const auto split = split_by_degree(g, 0.15);  // ceil(0.15·7) = 2
+  EXPECT_EQ(split.high.size(), 2u);
+  EXPECT_EQ(split.low.size(), 5u);
+  EXPECT_EQ(split.high[0], 0);  // hub in the serial set
+  // Every high vertex has degree >= every low vertex.
+  for (const Vertex h : split.high) {
+    for (const Vertex l : split.low) {
+      EXPECT_GE(g.degree(h), g.degree(l));
+    }
+  }
+}
+
+TEST(PowerLawMle, RecoversGeneratorExponent) {
+  util::Rng rng(4242);
+  hsbp::generator::PowerLawSampler sampler(2, 2000, 2.5);
+  std::vector<EdgeCount> degrees(20000);
+  for (auto& d : degrees) d = sampler.sample(rng);
+  const double alpha = powerlaw_exponent_mle(degrees, 2);
+  EXPECT_NEAR(alpha, 2.5, 0.15);
+}
+
+TEST(PowerLawMle, DegenerateInputsReturnZero) {
+  EXPECT_EQ(powerlaw_exponent_mle({}, 1), 0.0);
+  EXPECT_EQ(powerlaw_exponent_mle({5}, 1), 0.0);
+  // All degrees below d_min.
+  EXPECT_EQ(powerlaw_exponent_mle({1, 1, 1}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace hsbp::graph

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::graph {
+namespace {
+
+Graph random_graph(util::Rng& rng, Vertex max_vertices,
+                   EdgeCount max_edges) {
+  const auto v = static_cast<Vertex>(
+      1 + rng.uniform_int(static_cast<std::uint64_t>(max_vertices)));
+  const auto e = static_cast<EdgeCount>(
+      rng.uniform_int(static_cast<std::uint64_t>(max_edges) + 1));
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(e));
+  for (EdgeCount i = 0; i < e; ++i) {
+    edges.emplace_back(
+        static_cast<Vertex>(rng.uniform_int(static_cast<std::uint64_t>(v))),
+        static_cast<Vertex>(rng.uniform_int(static_cast<std::uint64_t>(v))));
+  }
+  return Graph::from_edges(v, edges);
+}
+
+class GraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphFuzz, CsrInvariantsHoldOnRandomGraphs) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = random_graph(rng, 200, 2000);
+
+    // Degree sums equal edge counts in both directions.
+    EdgeCount out_total = 0, in_total = 0, self = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      out_total += g.out_degree(v);
+      in_total += g.in_degree(v);
+      EXPECT_EQ(g.out_degree(v),
+                static_cast<EdgeCount>(g.out_neighbors(v).size()));
+      EXPECT_EQ(g.in_degree(v),
+                static_cast<EdgeCount>(g.in_neighbors(v).size()));
+      for (const Vertex u : g.out_neighbors(v)) {
+        EXPECT_GE(u, 0);
+        EXPECT_LT(u, g.num_vertices());
+        if (u == v) ++self;
+      }
+    }
+    EXPECT_EQ(out_total, g.num_edges());
+    EXPECT_EQ(in_total, g.num_edges());
+    EXPECT_EQ(self, g.num_self_loops());
+  }
+}
+
+TEST_P(GraphFuzz, OutAndInAdjacencyAreMirrors) {
+  util::Rng rng(GetParam() + 500);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = random_graph(rng, 120, 1200);
+    // Multiset of (src, dst) from out-adjacency equals the one from
+    // in-adjacency.
+    std::map<Edge, int> from_out, from_in;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      for (const Vertex u : g.out_neighbors(v)) ++from_out[{v, u}];
+      for (const Vertex u : g.in_neighbors(v)) ++from_in[{u, v}];
+    }
+    EXPECT_EQ(from_out, from_in);
+  }
+}
+
+TEST_P(GraphFuzz, EdgesRoundTripThroughFromEdges) {
+  util::Rng rng(GetParam() + 900);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = random_graph(rng, 100, 800);
+    auto edges = g.edges();
+    const Graph rebuilt = Graph::from_edges(g.num_vertices(), edges);
+    auto original = g.edges();
+    auto round_tripped = rebuilt.edges();
+    std::sort(original.begin(), original.end());
+    std::sort(round_tripped.begin(), round_tripped.end());
+    EXPECT_EQ(original, round_tripped);
+  }
+}
+
+TEST_P(GraphFuzz, ComponentLabelsAreConsistentWithEdges) {
+  util::Rng rng(GetParam() + 1300);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = random_graph(rng, 150, 300);  // sparse: many components
+    const auto info = weakly_connected_components(g);
+    // Every edge joins vertices of the same component.
+    for (const auto& [src, dst] : g.edges()) {
+      EXPECT_EQ(info.component_of[static_cast<std::size_t>(src)],
+                info.component_of[static_cast<std::size_t>(dst)]);
+    }
+    // Component ids are dense [0, count).
+    for (const auto id : info.component_of) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, info.count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,
+                         ::testing::Values(7, 17, 27, 37, 47));
+
+}  // namespace
+}  // namespace hsbp::graph

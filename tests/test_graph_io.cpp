@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace hsbp::graph {
+namespace {
+
+std::vector<Edge> sorted_edges(const Graph& g) {
+  auto edges = g.edges();
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+// ---------------------------------------------------------------- edge list
+
+TEST(EdgeListIo, ReadsBasicFile) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(EdgeListIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# SNAP comment\n% matrix-style comment\n\n0\t1\n\n1\t0\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(EdgeListIo, TabAndSpaceSeparatorsBothWork) {
+  std::istringstream in("0\t1\n2 3\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 4);
+}
+
+TEST(EdgeListIo, RejectsMalformedLine) {
+  std::istringstream in("0 1\nnot-an-edge\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeListIo, RejectsNegativeIds) {
+  std::istringstream in("0 -1\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeListIo, ErrorMentionsLineNumber) {
+  std::istringstream in("0 1\n1 2\nbroken\n");
+  try {
+    read_edge_list(in);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(EdgeListIo, RoundTripPreservesEdges) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 1}, {2, 0}, {0, 1}};
+  const Graph original = Graph::from_edges(3, edges);
+  std::ostringstream out;
+  write_edge_list(original, out);
+  std::istringstream in(out.str());
+  const Graph reread = read_edge_list(in);
+  EXPECT_EQ(sorted_edges(original), sorted_edges(reread));
+}
+
+TEST(EdgeListIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path.tsv"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------ Matrix Market
+
+TEST(MatrixMarketIo, ReadsPatternGeneral) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% comment\n"
+      "3 3 3\n"
+      "1 2\n"
+      "2 3\n"
+      "3 3\n");
+  const Graph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.num_self_loops(), 1);  // (3,3) → vertex 2 self-loop
+}
+
+TEST(MatrixMarketIo, SymmetricMirrorsOffDiagonal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  const Graph g = read_matrix_market(in);
+  // (2,1) mirrors to (1,2); diagonal (3,3) does not mirror.
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.out_degree(1), 1);
+}
+
+TEST(MatrixMarketIo, RealValuesIgnored) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 3.5\n"
+      "2 1 -1.25e3\n");
+  const Graph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(MatrixMarketIo, IntegerFieldAccepted) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 2 7\n");
+  EXPECT_EQ(read_matrix_market(in).num_edges(), 1);
+}
+
+TEST(MatrixMarketIo, RejectsMissingBanner) {
+  std::istringstream in("3 3 1\n1 2\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, RejectsComplexField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "2 2 1\n1 2 1.0 0.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, RejectsArrayFormat) {
+  std::istringstream in(
+      "%%MatrixMarket matrix array real general\n2 2\n1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, RejectsNonSquare) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 1\n1 2\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, RejectsOutOfBoundsEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n1 5\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, RejectsTruncatedEntryList) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 5\n1 2\n2 3\n");
+  EXPECT_THROW(read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarketIo, RoundTripPreservesEdges) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 2}, {0, 1}};
+  const Graph original = Graph::from_edges(4, edges);
+  std::ostringstream out;
+  write_matrix_market(original, out);
+  std::istringstream in(out.str());
+  const Graph reread = read_matrix_market(in);
+  EXPECT_EQ(reread.num_vertices(), 4);
+  EXPECT_EQ(sorted_edges(original), sorted_edges(reread));
+}
+
+TEST(MatrixMarketIo, CaseInsensitiveHeader) {
+  std::istringstream in(
+      "%%MatrixMarket MATRIX Coordinate Pattern General\n"
+      "2 2 1\n1 2\n");
+  EXPECT_EQ(read_matrix_market(in).num_edges(), 1);
+}
+
+}  // namespace
+}  // namespace hsbp::graph

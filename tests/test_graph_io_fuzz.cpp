@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::graph {
+namespace {
+
+/// Random printable garbage of the given length. Digit runs are capped
+/// at 5 characters so a fuzz input that happens to parse cannot demand
+/// a multi-gigabyte CSR allocation (vertex ids stay below 100 000).
+std::string random_garbage(util::Rng& rng, std::size_t length) {
+  static constexpr char kAlphabet[] =
+      "0123456789 \t-%#.eE+\nabcxyz";
+  std::string out;
+  out.reserve(length + length / 5);
+  int digit_run = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    const char c = kAlphabet[rng.uniform_int(sizeof(kAlphabet) - 1)];
+    if (c >= '0' && c <= '9') {
+      if (++digit_run > 5) {
+        out.push_back(' ');
+        digit_run = 0;
+      }
+    } else {
+      digit_run = 0;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Fuzz contract: readers either parse or throw; they never crash,
+/// hang, or return a structurally broken graph.
+class IoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoFuzz, EdgeListReaderNeverCrashes) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::istringstream in(random_garbage(rng, 1 + rng.uniform_int(400)));
+    try {
+      const Graph g = read_edge_list(in);
+      // If it parsed, the graph must be self-consistent.
+      EdgeCount degree_total = 0;
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        degree_total += g.degree(v);
+      }
+      EXPECT_EQ(degree_total, 2 * g.num_edges());
+    } catch (const std::runtime_error&) {
+      // rejected input: fine
+    }
+  }
+}
+
+TEST_P(IoFuzz, MatrixMarketReaderNeverCrashes) {
+  util::Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string text = rng.bernoulli(0.5)
+                           ? "%%MatrixMarket matrix coordinate pattern "
+                             "general\n"
+                           : "";
+    text += random_garbage(rng, 1 + rng.uniform_int(400));
+    std::istringstream in(text);
+    try {
+      const Graph g = read_matrix_market(in);
+      EXPECT_GE(g.num_vertices(), 0);
+    } catch (const std::runtime_error&) {
+      // rejected input: fine
+    }
+  }
+}
+
+TEST_P(IoFuzz, WeightedReadersNeverCrash) {
+  util::Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::istringstream in(random_garbage(rng, 1 + rng.uniform_int(300)));
+    try {
+      (void)read_edge_list(in, WeightHandling::Multiplicity);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IoRobustness, HugeVertexIdRejectedNotAllocated) {
+  // A malicious edge list must be rejected before allocating a
+  // multi-gigabyte CSR.
+  std::istringstream in("0 999999999999\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(IoRobustness, WindowsLineEndingsAccepted) {
+  std::istringstream in("0 1\r\n1 2\r\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(IoRobustness, TrailingWhitespaceAndColumnsIgnored) {
+  std::istringstream in("0 1 extra columns here\n1 2\t\t\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+}  // namespace
+}  // namespace hsbp::graph

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace hsbp::graph {
+namespace {
+
+TEST(WeightedEdgeList, MultiplicityExpandsEdges) {
+  std::istringstream in("0 1 3\n1 2 1\n");
+  const Graph g = read_edge_list(in, WeightHandling::Multiplicity);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.out_degree(0), 3);
+  EXPECT_EQ(g.out_degree(1), 1);
+}
+
+TEST(WeightedEdgeList, IgnoreDropsWeightColumn) {
+  std::istringstream in("0 1 3\n1 2 7\n");
+  const Graph g = read_edge_list(in, WeightHandling::Ignore);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(WeightedEdgeList, MissingWeightDefaultsToOne) {
+  std::istringstream in("0 1\n1 2 2\n");
+  const Graph g = read_edge_list(in, WeightHandling::Multiplicity);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(WeightedEdgeList, RealWeightsRound) {
+  std::istringstream in("0 1 2.6\n");
+  const Graph g = read_edge_list(in, WeightHandling::Multiplicity);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(WeightedEdgeList, RejectsNonPositiveWeight) {
+  std::istringstream zero("0 1 0\n");
+  EXPECT_THROW(read_edge_list(zero, WeightHandling::Multiplicity),
+               std::runtime_error);
+  std::istringstream negative("0 1 -2\n");
+  EXPECT_THROW(read_edge_list(negative, WeightHandling::Multiplicity),
+               std::runtime_error);
+}
+
+TEST(WeightedEdgeList, RejectsHugeWeight) {
+  std::istringstream in("0 1 99999999\n");
+  EXPECT_THROW(read_edge_list(in, WeightHandling::Multiplicity),
+               std::runtime_error);
+}
+
+TEST(WeightedMatrixMarket, IntegerValuesBecomeMultiplicities) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "3 3 2\n"
+      "1 2 4\n"
+      "2 3 1\n");
+  const Graph g = read_matrix_market(in, WeightHandling::Multiplicity);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.out_degree(0), 4);
+}
+
+TEST(WeightedMatrixMarket, SymmetricWeightsMirrorWithMultiplicity) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer symmetric\n"
+      "2 2 1\n"
+      "2 1 3\n");
+  const Graph g = read_matrix_market(in, WeightHandling::Multiplicity);
+  EXPECT_EQ(g.num_edges(), 6);  // 3 each direction
+  EXPECT_EQ(g.out_degree(0), 3);
+  EXPECT_EQ(g.out_degree(1), 3);
+}
+
+TEST(WeightedMatrixMarket, PatternDegradesToUnweighted) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 2\n");
+  const Graph g = read_matrix_market(in, WeightHandling::Multiplicity);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(WeightedMatrixMarket, IgnoreMatchesLegacyBehaviour) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 2 5.0\n"
+      "2 1 2.0\n";
+  std::istringstream a(text), b(text);
+  EXPECT_EQ(read_matrix_market(a, WeightHandling::Ignore).num_edges(), 2);
+  EXPECT_EQ(read_matrix_market(b, WeightHandling::Multiplicity).num_edges(),
+            7);
+}
+
+}  // namespace
+}  // namespace hsbp::graph

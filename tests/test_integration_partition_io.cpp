@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "eval/partition_io.hpp"
+#include "generator/dcsbm.hpp"
+#include "graph/degree.hpp"
+#include "metrics/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace hsbp::eval {
+namespace {
+
+TEST(PartitionIo, RoundTrip) {
+  const std::vector<std::int32_t> assignment = {2, 0, 1, 2, 0, 1};
+  std::ostringstream out;
+  save_assignment(assignment, out);
+  std::istringstream in(out.str());
+  EXPECT_EQ(load_assignment(in), assignment);
+}
+
+TEST(PartitionIo, AcceptsOutOfOrderEntries) {
+  std::istringstream in("2\t1\n0\t0\n1\t0\n");
+  const auto assignment = load_assignment(in);
+  EXPECT_EQ(assignment, (std::vector<std::int32_t>{0, 0, 1}));
+}
+
+TEST(PartitionIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n% other comment\n0\t5\n");
+  EXPECT_EQ(load_assignment(in), (std::vector<std::int32_t>{5}));
+}
+
+TEST(PartitionIo, RejectsDuplicateVertex) {
+  std::istringstream in("0\t0\n0\t1\n");
+  EXPECT_THROW(load_assignment(in), std::runtime_error);
+}
+
+TEST(PartitionIo, RejectsMissingVertex) {
+  std::istringstream in("0\t0\n2\t1\n");  // vertex 1 absent
+  EXPECT_THROW(load_assignment(in), std::runtime_error);
+}
+
+TEST(PartitionIo, RejectsNegativeValues) {
+  std::istringstream a("-1\t0\n");
+  EXPECT_THROW(load_assignment(a), std::runtime_error);
+  std::istringstream b("0\t-3\n");
+  EXPECT_THROW(load_assignment(b), std::runtime_error);
+}
+
+TEST(PartitionIo, RejectsEmptyAndMalformedInput) {
+  std::istringstream empty("# only comments\n");
+  EXPECT_THROW(load_assignment(empty), std::runtime_error);
+  std::istringstream broken("0 zero\n");
+  EXPECT_THROW(load_assignment(broken), std::runtime_error);
+}
+
+TEST(PartitionIo, ErrorsCarryLineNumbers) {
+  std::istringstream in("0\t0\nbroken-line\n");
+  try {
+    load_assignment(in);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(PartitionIo, FileRoundTripScoresIdentically) {
+  generator::DcsbmParams p;
+  p.num_vertices = 120;
+  p.num_communities = 4;
+  p.num_edges = 900;
+  p.seed = 77;
+  const auto g = generator::generate_dcsbm(p);
+
+  const auto path =
+      std::string(::testing::TempDir()) + "hsbp_partition_io.tsv";
+  save_assignment_file(g.ground_truth, path);
+  const auto loaded = load_assignment_file(path);
+  EXPECT_NEAR(metrics::nmi(g.ground_truth, loaded), 1.0, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionIo, MissingFileThrows) {
+  EXPECT_THROW(load_assignment_file("/nonexistent/partition.tsv"),
+               std::runtime_error);
+}
+
+// Generator option added alongside: independent in/out propensities.
+TEST(GeneratorDirectedDegrees, DefaultModeUnchangedBySwitch) {
+  generator::DcsbmParams p;
+  p.num_vertices = 150;
+  p.num_communities = 4;
+  p.num_edges = 1200;
+  p.seed = 99;
+  p.independent_in_out_degrees = false;
+  const auto a = generator::generate_dcsbm(p);
+  const auto b = generator::generate_dcsbm(p);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+}
+
+TEST(GeneratorDirectedDegrees, IndependentModeDecorrelatesDegrees) {
+  generator::DcsbmParams p;
+  p.num_vertices = 1500;
+  p.num_communities = 4;
+  p.num_edges = 15000;
+  p.degree_exponent = 2.0;
+  p.max_degree = 200;
+  p.seed = 100;
+
+  const auto correlation = [](const graph::Graph& g) {
+    std::vector<double> out_deg, in_deg;
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+      out_deg.push_back(static_cast<double>(g.out_degree(v)));
+      in_deg.push_back(static_cast<double>(g.in_degree(v)));
+    }
+    return hsbp::util::pearson(out_deg, in_deg).r;
+  };
+
+  p.independent_in_out_degrees = false;
+  const double correlated = correlation(generator::generate_dcsbm(p).graph);
+  p.independent_in_out_degrees = true;
+  const double independent =
+      correlation(generator::generate_dcsbm(p).graph);
+
+  EXPECT_GT(correlated, 0.6);   // one θ drives both directions
+  EXPECT_LT(independent, 0.4);  // separate θ_out/θ_in decorrelate
+  EXPECT_GT(correlated, independent + 0.3);
+}
+
+TEST(GeneratorDirectedDegrees, IndependentModeKeepsPlantedRatio) {
+  generator::DcsbmParams p;
+  p.num_vertices = 1000;
+  p.num_communities = 5;
+  p.num_edges = 10000;
+  p.ratio_within_between = 4.0;
+  p.independent_in_out_degrees = true;
+  p.seed = 101;
+  const auto g = generator::generate_dcsbm(p);
+  EXPECT_NEAR(generator::realized_within_ratio(g.graph, g.ground_truth), 4.0,
+              1.0);
+}
+
+}  // namespace
+}  // namespace hsbp::eval

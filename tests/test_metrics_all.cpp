@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/mdl.hpp"
+#include "generator/dcsbm.hpp"
+#include "metrics/contingency.hpp"
+#include "metrics/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::metrics {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+// ------------------------------------------------------------- contingency
+
+TEST(ContingencyTable, HandComputed) {
+  const std::vector<std::int32_t> x = {0, 0, 1, 1};
+  const std::vector<std::int32_t> y = {0, 1, 0, 1};
+  const ContingencyTable t(x, y);
+  EXPECT_EQ(t.total(), 4u);
+  EXPECT_EQ(t.num_clusters_x(), 2u);
+  EXPECT_EQ(t.num_clusters_y(), 2u);
+  EXPECT_NEAR(t.entropy_x(), std::log(2.0), 1e-12);
+  EXPECT_NEAR(t.entropy_y(), std::log(2.0), 1e-12);
+  EXPECT_NEAR(t.mutual_information(), 0.0, 1e-12);  // independent
+}
+
+TEST(ContingencyTable, PerfectDependence) {
+  const std::vector<std::int32_t> x = {0, 0, 1, 1, 2, 2};
+  const ContingencyTable t(x, x);
+  EXPECT_NEAR(t.mutual_information(), t.entropy_x(), 1e-12);
+}
+
+TEST(ContingencyTable, SparseLabelsCompacted) {
+  const std::vector<std::int32_t> x = {100, 100, 7};
+  const std::vector<std::int32_t> y = {3, 3, 900};
+  const ContingencyTable t(x, y);
+  EXPECT_EQ(t.num_clusters_x(), 2u);
+  EXPECT_EQ(t.num_clusters_y(), 2u);
+}
+
+TEST(ContingencyTable, Errors) {
+  const std::vector<std::int32_t> a = {0, 1};
+  const std::vector<std::int32_t> b = {0};
+  EXPECT_THROW(ContingencyTable(a, b), std::invalid_argument);
+  EXPECT_THROW(ContingencyTable({}, {}), std::invalid_argument);
+  const std::vector<std::int32_t> neg = {0, -1};
+  EXPECT_THROW(ContingencyTable(neg, a), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- NMI
+
+TEST(Nmi, IdenticalLabelingsScoreOne) {
+  const std::vector<std::int32_t> x = {0, 1, 2, 0, 1, 2};
+  EXPECT_NEAR(nmi(x, x), 1.0, 1e-12);
+}
+
+TEST(Nmi, PermutedLabelsScoreOne) {
+  const std::vector<std::int32_t> x = {0, 0, 1, 1, 2, 2};
+  const std::vector<std::int32_t> y = {2, 2, 0, 0, 1, 1};
+  EXPECT_NEAR(nmi(x, y), 1.0, 1e-12);
+}
+
+TEST(Nmi, IsSymmetric) {
+  const std::vector<std::int32_t> x = {0, 0, 1, 1, 2, 2, 0, 1};
+  const std::vector<std::int32_t> y = {0, 1, 1, 1, 2, 0, 0, 2};
+  EXPECT_NEAR(nmi(x, y), nmi(y, x), 1e-12);
+}
+
+TEST(Nmi, DegenerateConventions) {
+  const std::vector<std::int32_t> constant = {5, 5, 5, 5};
+  const std::vector<std::int32_t> varied = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(nmi(constant, constant), 1.0);
+  EXPECT_DOUBLE_EQ(nmi(constant, varied), 0.0);
+  EXPECT_DOUBLE_EQ(nmi(varied, constant), 0.0);
+}
+
+TEST(Nmi, IndependentLargeLabelingsNearZero) {
+  util::Rng rng(404);
+  std::vector<std::int32_t> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<std::int32_t>(rng.uniform_int(8));
+    y[i] = static_cast<std::int32_t>(rng.uniform_int(8));
+  }
+  EXPECT_LT(nmi(x, y), 0.05);
+}
+
+TEST(Nmi, BoundedInUnitInterval) {
+  util::Rng rng(405);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::int32_t> x(100), y(100);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<std::int32_t>(rng.uniform_int(5));
+      y[i] = static_cast<std::int32_t>(rng.uniform_int(3));
+    }
+    const double value = nmi(x, y);
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0 + 1e-12);
+  }
+}
+
+// -------------------------------------------------------------- modularity
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  const Graph g = Graph::from_edges(3, edges);
+  const std::vector<std::int32_t> one = {0, 0, 0};
+  EXPECT_NEAR(modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(Modularity, HandComputedTwoCliques) {
+  // Two bidirected triangles, split correctly:
+  // Q = Σ_r [6/12 − (6/12)²] = 2·(0.5 − 0.25) = 0.5.
+  std::vector<Edge> edges;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 3; ++i) {
+      const auto a = static_cast<graph::Vertex>(3 * c + i);
+      const auto b = static_cast<graph::Vertex>(3 * c + (i + 1) % 3);
+      edges.emplace_back(a, b);
+      edges.emplace_back(b, a);
+    }
+  }
+  const Graph g = Graph::from_edges(6, edges);
+  const std::vector<std::int32_t> split = {0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(modularity(g, split), 0.5, 1e-12);
+}
+
+TEST(Modularity, GoodSplitBeatsBadSplit) {
+  std::vector<Edge> edges;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 3; ++i) {
+      const auto a = static_cast<graph::Vertex>(3 * c + i);
+      const auto b = static_cast<graph::Vertex>(3 * c + (i + 1) % 3);
+      edges.emplace_back(a, b);
+    }
+  }
+  const Graph g = Graph::from_edges(6, edges);
+  const std::vector<std::int32_t> good = {0, 0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> bad = {0, 1, 0, 1, 0, 1};
+  EXPECT_GT(modularity(g, good), modularity(g, bad));
+}
+
+TEST(Modularity, EmptyEdgeSetIsZero) {
+  const Graph g = Graph::from_edges(3, {});
+  const std::vector<std::int32_t> any = {0, 1, 2};
+  EXPECT_EQ(modularity(g, any), 0.0);
+}
+
+TEST(Modularity, Errors) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  const std::vector<std::int32_t> wrong_size = {0};
+  EXPECT_THROW(modularity(g, wrong_size), std::invalid_argument);
+  const std::vector<std::int32_t> negative = {0, -1};
+  EXPECT_THROW(modularity(g, negative), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- normalized MDL
+
+TEST(NormalizedMdl, OneBlockPartitionScoresOne) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {1, 0}};
+  const Graph g = Graph::from_edges(3, edges);
+  const std::vector<std::int32_t> one = {0, 0, 0};
+  EXPECT_NEAR(normalized_mdl(g, one), 1.0, 1e-9);
+}
+
+TEST(NormalizedMdl, StructuredFitScoresBelowOne) {
+  generator::DcsbmParams p;
+  p.num_vertices = 300;
+  p.num_communities = 4;
+  p.num_edges = 3000;
+  p.ratio_within_between = 6.0;
+  p.seed = 21;
+  const auto generated = generator::generate_dcsbm(p);
+  const double value =
+      normalized_mdl(generated.graph, generated.ground_truth);
+  EXPECT_LT(value, 0.99);
+  EXPECT_GT(value, 0.3);
+}
+
+TEST(NormalizedMdl, ScalarOverloadConsistent) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  const Graph g = Graph::from_edges(4, edges);
+  const std::vector<std::int32_t> split = {0, 0, 1, 1};
+  const double via_graph = normalized_mdl(g, split);
+  const auto b = hsbp::blockmodel::Blockmodel::from_assignment(g, split, 2);
+  const double via_scalar = normalized_mdl(
+      hsbp::blockmodel::mdl(b, 4, 4), g.num_vertices(), g.num_edges());
+  EXPECT_NEAR(via_graph, via_scalar, 1e-12);
+}
+
+}  // namespace
+}  // namespace hsbp::metrics

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/pairwise.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::metrics {
+namespace {
+
+TEST(AdjustedRandIndex, IdenticalLabelingsScoreOne) {
+  const std::vector<std::int32_t> x = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(x, x), 1.0);
+}
+
+TEST(AdjustedRandIndex, PermutedLabelsScoreOne) {
+  const std::vector<std::int32_t> x = {0, 0, 1, 1, 2, 2};
+  const std::vector<std::int32_t> y = {5, 5, 9, 9, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(x, y), 1.0);
+}
+
+TEST(AdjustedRandIndex, HandComputedExample) {
+  // Classic example: X = {0,0,0,1,1,1}, Y = {0,0,1,1,2,2}.
+  // Contingency: rows {2,1,0},{0,1,2}. S_joint = 1+0+0+0+0+1 = 2.
+  // S_a = 2·C(3,2) = 6, S_b = C(2,2)·3 = 3, N = C(6,2) = 15.
+  // expected = 6·3/15 = 1.2; max = 4.5; ARI = (2−1.2)/(4.5−1.2) = 0.2424…
+  const std::vector<std::int32_t> x = {0, 0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> y = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(adjusted_rand_index(x, y), 0.8 / 3.3, 1e-12);
+}
+
+TEST(AdjustedRandIndex, IndependentLargeLabelingsNearZero) {
+  util::Rng rng(77);
+  std::vector<std::int32_t> x(4000), y(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<std::int32_t>(rng.uniform_int(6));
+    y[i] = static_cast<std::int32_t>(rng.uniform_int(6));
+  }
+  EXPECT_NEAR(adjusted_rand_index(x, y), 0.0, 0.02);
+}
+
+TEST(AdjustedRandIndex, SymmetricInArguments) {
+  const std::vector<std::int32_t> x = {0, 0, 1, 1, 2, 0, 1};
+  const std::vector<std::int32_t> y = {1, 0, 1, 2, 2, 0, 0};
+  EXPECT_NEAR(adjusted_rand_index(x, y), adjusted_rand_index(y, x), 1e-12);
+}
+
+TEST(AdjustedRandIndex, DegenerateSingletonPartitions) {
+  const std::vector<std::int32_t> singletons = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(singletons, singletons), 1.0);
+  const std::vector<std::int32_t> one_cluster = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(one_cluster, one_cluster), 1.0);
+}
+
+TEST(PairwiseScores, PerfectPrediction) {
+  const std::vector<std::int32_t> x = {0, 0, 1, 1};
+  const auto s = pairwise_scores(x, x);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(PairwiseScores, OverMergingHurtsPrecisionNotRecall) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1};
+  const std::vector<std::int32_t> merged = {0, 0, 0, 0};
+  const auto s = pairwise_scores(truth, merged);
+  // TP = 2 truly-together pairs; predicted positives = 6.
+  EXPECT_NEAR(s.precision, 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(PairwiseScores, OverSplittingHurtsRecallNotPrecision) {
+  const std::vector<std::int32_t> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> split = {0, 0, 2, 1, 1, 3};
+  const auto s = pairwise_scores(truth, split);
+  // Predicted positives: {0,0} pair + {1,1} pair = 2, both correct.
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_NEAR(s.recall, 2.0 / 6.0, 1e-12);
+}
+
+TEST(PairwiseScores, AllSingletonsConventions) {
+  const std::vector<std::int32_t> singletons = {0, 1, 2, 3};
+  const std::vector<std::int32_t> pairs_labels = {0, 0, 1, 1};
+  // Predicted has no positive pairs → precision 1 by convention.
+  const auto s = pairwise_scores(pairs_labels, singletons);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(PairwiseScores, F1IsHarmonicMean) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<std::int32_t> pred = {0, 0, 0, 1, 2, 2};
+  const auto s = pairwise_scores(truth, pred);
+  EXPECT_NEAR(s.f1, 2.0 * s.precision * s.recall / (s.precision + s.recall),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace hsbp::metrics

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "generator/dcsbm.hpp"
+#include "sbp/async_pass.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::sbp::detail {
+namespace {
+
+using blockmodel::BlockId;
+using blockmodel::Blockmodel;
+using graph::Vertex;
+
+TEST(AtomicHelpers, AssignmentRoundTrip) {
+  const std::vector<std::int32_t> original = {3, 1, 4, 1, 5};
+  const auto shared = make_atomic_assignment(original);
+  EXPECT_EQ(snapshot_assignment(shared), original);
+}
+
+TEST(AtomicHelpers, SizesMatchBlockmodel) {
+  generator::DcsbmParams p;
+  p.num_vertices = 100;
+  p.num_communities = 4;
+  p.num_edges = 600;
+  p.seed = 31;
+  const auto g = generator::generate_dcsbm(p);
+  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 4);
+  const auto sizes = make_atomic_sizes(b);
+  ASSERT_EQ(sizes.size(), 4u);
+  for (BlockId r = 0; r < 4; ++r) {
+    EXPECT_EQ(sizes[static_cast<std::size_t>(r)].load(), b.block_size(r));
+  }
+}
+
+TEST(AsyncPass, EvaluatesExactlyTheGivenVertices) {
+  generator::DcsbmParams p;
+  p.num_vertices = 120;
+  p.num_communities = 4;
+  p.num_edges = 900;
+  p.ratio_within_between = 4.0;
+  p.seed = 32;
+  const auto g = generator::generate_dcsbm(p);
+  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 4);
+
+  auto shared = make_atomic_assignment(b.assignment());
+  auto sizes = make_atomic_sizes(b);
+  std::vector<Vertex> subset = {0, 5, 10, 15, 20};
+  util::RngPool rngs(1, 4);
+  const auto counters =
+      async_pass(g.graph, b, shared, sizes, subset, 3.0, rngs);
+  EXPECT_EQ(counters.proposals, 5);
+  EXPECT_LE(counters.accepted, counters.proposals);
+
+  // Vertices outside the subset are untouched.
+  const auto result = snapshot_assignment(shared);
+  for (Vertex v = 0; v < 120; ++v) {
+    const bool in_subset =
+        std::find(subset.begin(), subset.end(), v) != subset.end();
+    if (!in_subset) {
+      EXPECT_EQ(result[static_cast<std::size_t>(v)], b.block_of(v));
+    }
+  }
+}
+
+TEST(AsyncPass, SizeAccountingStaysExact) {
+  generator::DcsbmParams p;
+  p.num_vertices = 200;
+  p.num_communities = 5;
+  p.num_edges = 1500;
+  p.seed = 33;
+  const auto g = generator::generate_dcsbm(p);
+  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 5);
+
+  auto shared = make_atomic_assignment(b.assignment());
+  auto sizes = make_atomic_sizes(b);
+  std::vector<Vertex> all(200);
+  std::iota(all.begin(), all.end(), 0);
+  util::RngPool rngs(2, 4);
+  async_pass(g.graph, b, shared, sizes, all, 3.0, rngs);
+
+  // Tracked sizes equal recounted sizes; all blocks stay non-empty.
+  const auto result = snapshot_assignment(shared);
+  std::vector<std::int32_t> recounted(5, 0);
+  for (const std::int32_t label : result) {
+    ++recounted[static_cast<std::size_t>(label)];
+  }
+  for (BlockId r = 0; r < 5; ++r) {
+    EXPECT_EQ(sizes[static_cast<std::size_t>(r)].load(),
+              recounted[static_cast<std::size_t>(r)]);
+    EXPECT_GT(recounted[static_cast<std::size_t>(r)], 0);
+  }
+}
+
+TEST(AsyncPass, NeverEmptiesSingletonBlocks) {
+  // A state with several singleton blocks: after the pass each must
+  // still have its vertex.
+  generator::DcsbmParams p;
+  p.num_vertices = 60;
+  p.num_communities = 3;
+  p.num_edges = 400;
+  p.seed = 34;
+  const auto g = generator::generate_dcsbm(p);
+  // Labels 3,4,5 are singletons held by vertices 0,1,2.
+  std::vector<std::int32_t> state = g.ground_truth;
+  for (auto& label : state) label = label % 3;
+  state[0] = 3;
+  state[1] = 4;
+  state[2] = 5;
+  const auto b = Blockmodel::from_assignment(g.graph, state, 6);
+
+  auto shared = make_atomic_assignment(b.assignment());
+  auto sizes = make_atomic_sizes(b);
+  std::vector<Vertex> all(60);
+  std::iota(all.begin(), all.end(), 0);
+  util::RngPool rngs(3, 4);
+  async_pass(g.graph, b, shared, sizes, all, 3.0, rngs);
+
+  const auto result = snapshot_assignment(shared);
+  std::vector<int> counts(6, 0);
+  for (const std::int32_t label : result) {
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int label = 3; label <= 5; ++label) {
+    EXPECT_GE(counts[static_cast<std::size_t>(label)], 1);
+  }
+}
+
+TEST(AsyncPass, DeterministicForFixedThreadCountAndSeed) {
+  generator::DcsbmParams p;
+  p.num_vertices = 150;
+  p.num_communities = 4;
+  p.num_edges = 1000;
+  p.seed = 35;
+  const auto g = generator::generate_dcsbm(p);
+  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 4);
+  std::vector<Vertex> all(150);
+  std::iota(all.begin(), all.end(), 0);
+
+  const auto run_once = [&]() {
+    auto shared = make_atomic_assignment(b.assignment());
+    auto sizes = make_atomic_sizes(b);
+    util::RngPool rngs(9, 4);
+    async_pass(g.graph, b, shared, sizes, all, 3.0, rngs);
+    return snapshot_assignment(shared);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(AsyncPass, EmptyVertexSetIsNoop) {
+  generator::DcsbmParams p;
+  p.num_vertices = 50;
+  p.num_communities = 2;
+  p.num_edges = 300;
+  p.seed = 36;
+  const auto g = generator::generate_dcsbm(p);
+  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 2);
+  auto shared = make_atomic_assignment(b.assignment());
+  auto sizes = make_atomic_sizes(b);
+  util::RngPool rngs(1, 2);
+  const auto counters =
+      async_pass(g.graph, b, shared, sizes, {}, 3.0, rngs);
+  EXPECT_EQ(counters.proposals, 0);
+  EXPECT_EQ(counters.accepted, 0);
+  EXPECT_EQ(snapshot_assignment(shared), b.assignment());
+}
+
+}  // namespace
+}  // namespace hsbp::sbp::detail

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "generator/dcsbm.hpp"
+#include "sbp/hastings.hpp"
+#include "sbp/proposal.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::sbp {
+namespace {
+
+using blockmodel::BlockId;
+using blockmodel::Blockmodel;
+using graph::Edge;
+using graph::Graph;
+
+Graph two_communities() {
+  // Blocks {0,1,2} densely bidirected; {3,4,5} densely bidirected; one
+  // bridge 2↔3.
+  std::vector<Edge> edges;
+  const auto add_bi = [&edges](graph::Vertex a, graph::Vertex b) {
+    edges.emplace_back(a, b);
+    edges.emplace_back(b, a);
+  };
+  add_bi(0, 1);
+  add_bi(1, 2);
+  add_bi(0, 2);
+  add_bi(3, 4);
+  add_bi(4, 5);
+  add_bi(3, 5);
+  add_bi(2, 3);
+  return Graph::from_edges(6, edges);
+}
+
+const std::vector<std::int32_t> kTwoBlocks = {0, 0, 0, 1, 1, 1};
+
+TEST(ProposeBlock, StaysInRange) {
+  const Graph g = two_communities();
+  const auto b = Blockmodel::from_assignment(g, kTwoBlocks, 2);
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto nb = blockmodel::gather_neighbor_blocks(g, kTwoBlocks, 0);
+    const BlockId p = propose_block(b, nb, 0, false, rng);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 2);
+  }
+}
+
+TEST(ProposeBlock, MergeNeverProposesSelf) {
+  const Graph g = two_communities();
+  const auto b = Blockmodel::from_assignment(g, kTwoBlocks, 2);
+  util::Rng rng(2);
+  for (BlockId c = 0; c < 2; ++c) {
+    const auto nb = block_neighbor_counts(b, c);
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_NE(propose_block(b, nb, c, true, rng), c);
+    }
+  }
+}
+
+TEST(ProposeBlock, IsolatedVertexGetsUniformProposals) {
+  // Vertex 6 isolated; proposals must still be valid blocks, roughly
+  // uniformly distributed.
+  std::vector<Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {4, 5}, {5, 4}};
+  const Graph g = Graph::from_edges(7, edges);
+  const std::vector<std::int32_t> assignment = {0, 0, 1, 1, 2, 2, 0};
+  const auto b = Blockmodel::from_assignment(g, assignment, 3);
+  util::Rng rng(3);
+  const auto nb = blockmodel::gather_neighbor_blocks(g, assignment, 6);
+  EXPECT_EQ(nb.degree_total(), 0);
+  std::map<BlockId, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[propose_block(b, nb, 0, false, rng)];
+  }
+  for (BlockId c = 0; c < 3; ++c) {
+    EXPECT_NEAR(counts[c] / 3000.0, 1.0 / 3.0, 0.05);
+  }
+}
+
+TEST(ProposeBlock, FavorsStronglyConnectedBlock) {
+  // Vertex 0 sits in a dense community; the majority of proposals should
+  // land on its own block (neighbor-guided step dominates).
+  const Graph g = two_communities();
+  const auto b = Blockmodel::from_assignment(g, kTwoBlocks, 2);
+  util::Rng rng(4);
+  const auto nb = blockmodel::gather_neighbor_blocks(g, kTwoBlocks, 0);
+  int own = 0;
+  constexpr int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    own += (propose_block(b, nb, 0, false, rng) == 0);
+  }
+  EXPECT_GT(own, n / 2);
+}
+
+TEST(BlockNeighborCounts, MatchesMatrixSlices) {
+  const Graph g = two_communities();
+  const auto b = Blockmodel::from_assignment(g, kTwoBlocks, 2);
+  const auto nb = block_neighbor_counts(b, 0);
+  // Block 0: 6 within edges (self-loops of the super-vertex) + 1 out to
+  // block 1 + 1 in from block 1.
+  EXPECT_EQ(nb.self_loops, 6);
+  ASSERT_EQ(nb.out.size(), 1u);
+  EXPECT_EQ(nb.out[0].first, 1);
+  EXPECT_EQ(nb.out[0].second, 1);
+  ASSERT_EQ(nb.in.size(), 1u);
+  EXPECT_EQ(nb.in[0].second, 1);
+  EXPECT_EQ(nb.degree_out, b.degree_out(0));
+  EXPECT_EQ(nb.degree_in, b.degree_in(0));
+}
+
+TEST(HastingsCorrection, ForwardTimesReverseIsOne) {
+  // Detailed-balance identity: the correction of a move times the
+  // correction of its reverse (evaluated after applying the move) is 1.
+  generator::DcsbmParams params;
+  params.num_vertices = 60;
+  params.num_communities = 4;
+  params.num_edges = 480;
+  params.seed = 5;
+  const auto generated = generator::generate_dcsbm(params);
+  const Graph& g = generated.graph;
+  auto b = Blockmodel::from_assignment(g, generated.ground_truth, 4);
+
+  util::Rng rng(6);
+  int tested = 0;
+  for (int trial = 0; trial < 200 && tested < 50; ++trial) {
+    const auto v = static_cast<graph::Vertex>(rng.uniform_int(60));
+    const BlockId from = b.block_of(v);
+    const auto to = static_cast<BlockId>(rng.uniform_int(4));
+    if (to == from || b.block_size(from) <= 1) continue;
+
+    const auto nb_fwd = blockmodel::gather_neighbor_blocks(g, b.assignment(), v);
+    const auto delta_fwd = blockmodel::vertex_move_delta(b, from, to, nb_fwd);
+    const double h_fwd = hastings_correction(b, nb_fwd, from, to, delta_fwd);
+
+    auto moved = b;
+    moved.move_vertex(g, v, to);
+    const auto nb_bwd =
+        blockmodel::gather_neighbor_blocks(g, moved.assignment(), v);
+    const auto delta_bwd =
+        blockmodel::vertex_move_delta(moved, to, from, nb_bwd);
+    const double h_bwd =
+        hastings_correction(moved, nb_bwd, to, from, delta_bwd);
+
+    ASSERT_GT(h_fwd, 0.0);
+    EXPECT_NEAR(h_fwd * h_bwd, 1.0, 1e-9);
+    ++tested;
+  }
+  EXPECT_GE(tested, 20);
+}
+
+TEST(HastingsCorrection, IsolatedVertexIsNeutral) {
+  std::vector<Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  const Graph g = Graph::from_edges(5, edges);
+  const std::vector<std::int32_t> assignment = {0, 0, 1, 1, 0};
+  const auto b = Blockmodel::from_assignment(g, assignment, 2);
+  const auto nb = blockmodel::gather_neighbor_blocks(g, assignment, 4);
+  const auto delta = blockmodel::vertex_move_delta(b, 0, 1, nb);
+  EXPECT_DOUBLE_EQ(hastings_correction(b, nb, 0, 1, delta), 1.0);
+}
+
+}  // namespace
+}  // namespace hsbp::sbp

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "sbp/proposal.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::sbp {
+namespace {
+
+using blockmodel::BlockId;
+using blockmodel::Blockmodel;
+using blockmodel::Count;
+using graph::Edge;
+using graph::Graph;
+
+/// A fixture small enough to compute the proposal distribution exactly:
+/// 3 blocks, known M. Vertex 0 (in block 0) has one out-edge to block 1
+/// and one to block 2.
+///
+///   edges: 0→2(blk1), 0→4(blk2), 2→3 ×2 within blk1, 4→5 within blk2,
+///          1→0 within blk0
+///   blocks: {0,1}, {2,3}, {4,5}
+struct ExactFixture {
+  Graph graph;
+  Blockmodel b;
+
+  ExactFixture()
+      : graph(Graph::from_edges(
+            6, std::vector<Edge>{{0, 2}, {0, 4}, {2, 3}, {2, 3}, {4, 5},
+                                 {1, 0}})),
+        b(Blockmodel::from_assignment(graph,
+                                      std::vector<std::int32_t>{0, 0, 1, 1,
+                                                                2, 2},
+                                      3)) {}
+};
+
+/// Exact probability of proposing each block for vertex 0, by
+/// enumerating the proposal chain:
+///   step 2: neighbor edge uniform over {→blk1, →blk2, ←blk0}
+///   step 3: escape with C/(d_t + C) → uniform 1/3 each
+///   step 4: draw from row t + column t of M.
+std::map<BlockId, double> exact_distribution(const Blockmodel& b) {
+  const double c = 3.0;
+  std::map<BlockId, double> prob;
+  const double neighbor_weight = 1.0 / 3.0;  // three incident edges
+
+  // Neighbor blocks of vertex 0 with multiplicity: blk1 (0→2),
+  // blk2 (0→4), blk0 (1→0).
+  for (const BlockId t : {1, 2, 0}) {
+    const double d_t = static_cast<double>(b.degree_total(t));
+    const double escape = c / (d_t + c);
+    // Escape: uniform over the 3 blocks.
+    for (BlockId s = 0; s < 3; ++s) {
+      prob[s] += neighbor_weight * escape / 3.0;
+    }
+    // Multinomial over row t + column t of M.
+    for (BlockId s = 0; s < 3; ++s) {
+      const double mass = static_cast<double>(b.matrix().get(t, s) +
+                                              b.matrix().get(s, t));
+      if (d_t > 0) {
+        prob[s] += neighbor_weight * (1.0 - escape) * mass / d_t;
+      }
+    }
+  }
+  return prob;
+}
+
+TEST(ProposalExact, EmpiricalMatchesEnumeratedDistribution) {
+  ExactFixture fx;
+  const auto expected = exact_distribution(fx.b);
+
+  // Sanity: exact probabilities sum to 1.
+  double total = 0.0;
+  for (const auto& [block, p] : expected) total += p;
+  ASSERT_NEAR(total, 1.0, 1e-12);
+
+  util::Rng rng(271828);
+  const auto nb =
+      blockmodel::gather_neighbor_blocks(fx.graph, fx.b.assignment(), 0);
+  constexpr int kDraws = 200000;
+  std::map<BlockId, int> counts;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[propose_block(fx.b, nb, 0, false, rng)];
+  }
+
+  for (BlockId s = 0; s < 3; ++s) {
+    const double empirical =
+        counts[s] / static_cast<double>(kDraws);
+    // 3σ binomial tolerance.
+    const double p = expected.at(s);
+    const double sigma = std::sqrt(p * (1.0 - p) / kDraws);
+    EXPECT_NEAR(empirical, p, 4.0 * sigma + 1e-4) << "block " << s;
+  }
+}
+
+TEST(ProposalExact, MergeDistributionExcludesSelf) {
+  ExactFixture fx;
+  util::Rng rng(31415);
+  const auto nb = block_neighbor_counts(fx.b, 0);
+  std::map<BlockId, int> counts;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[propose_block(fx.b, nb, 0, true, rng)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[2], 0);
+}
+
+}  // namespace
+}  // namespace hsbp::sbp

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "generator/dcsbm.hpp"
+#include "metrics/metrics.hpp"
+#include "sbp/sbp.hpp"
+#include "sbp/vertex_selection.hpp"
+
+namespace hsbp::sbp {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+Graph hub_graph() {
+  // Vertex 0: degree 8; vertices 1-4 connect to it and each other.
+  std::vector<Edge> edges;
+  for (Vertex i = 1; i <= 4; ++i) {
+    edges.emplace_back(0, i);
+    edges.emplace_back(i, 0);
+  }
+  edges.emplace_back(1, 2);
+  edges.emplace_back(3, 4);
+  return Graph::from_edges(5, edges);
+}
+
+TEST(SelectionName, AllStrategiesNamed) {
+  EXPECT_STREQ(selection_name(HybridSelection::Degree), "degree");
+  EXPECT_STREQ(selection_name(HybridSelection::EdgeInfo), "edge-info");
+  EXPECT_STREQ(selection_name(HybridSelection::Random), "random");
+}
+
+class SelectionSweep : public ::testing::TestWithParam<HybridSelection> {};
+
+TEST_P(SelectionSweep, SplitIsAPartitionOfTheRightSize) {
+  const Graph g = hub_graph();
+  const auto split = select_hybrid_vertices(g, 0.4, GetParam(), 7);
+  EXPECT_EQ(split.high.size(), 2u);  // ceil(0.4·5)
+  EXPECT_EQ(split.low.size(), 3u);
+  std::set<Vertex> all(split.high.begin(), split.high.end());
+  all.insert(split.low.begin(), split.low.end());
+  EXPECT_EQ(all.size(), 5u);  // disjoint cover
+}
+
+TEST_P(SelectionSweep, ExtremeFractions) {
+  const Graph g = hub_graph();
+  const auto none = select_hybrid_vertices(g, 0.0, GetParam(), 7);
+  EXPECT_TRUE(none.high.empty());
+  const auto everyone = select_hybrid_vertices(g, 1.0, GetParam(), 7);
+  EXPECT_TRUE(everyone.low.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, SelectionSweep,
+                         ::testing::Values(HybridSelection::Degree,
+                                           HybridSelection::EdgeInfo,
+                                           HybridSelection::Random));
+
+TEST(Selection, DegreeAndEdgeInfoBothPickTheHub) {
+  const Graph g = hub_graph();
+  for (const auto strategy :
+       {HybridSelection::Degree, HybridSelection::EdgeInfo}) {
+    const auto split = select_hybrid_vertices(g, 0.2, strategy, 7);
+    ASSERT_EQ(split.high.size(), 1u);
+    EXPECT_EQ(split.high[0], 0) << selection_name(strategy);
+  }
+}
+
+TEST(Selection, RandomIsSeedDeterministic) {
+  const Graph g = hub_graph();
+  const auto a = select_hybrid_vertices(g, 0.4, HybridSelection::Random, 11);
+  const auto b = select_hybrid_vertices(g, 0.4, HybridSelection::Random, 11);
+  EXPECT_EQ(a.high, b.high);
+  const auto c = select_hybrid_vertices(g, 0.4, HybridSelection::Random, 12);
+  // Different seed usually reshuffles (5 vertices: collision possible but
+  // this seed pair differs).
+  EXPECT_TRUE(a.high != c.high || a.low != c.low);
+}
+
+TEST(Selection, EdgeInfoRanksBridgesOverPendants) {
+  // Two hubs joined by a bridge vertex: the bridge has low degree but
+  // its edges touch two hubs, so edge-info ranks it above a pendant of
+  // equal degree.
+  std::vector<Edge> edges;
+  for (Vertex i = 1; i <= 4; ++i) {
+    edges.emplace_back(0, i);   // hub A = 0
+    edges.emplace_back(5, static_cast<Vertex>(5 + i));  // hub B = 5
+  }
+  edges.emplace_back(10, 0);  // bridge 10: two edges, both to hubs
+  edges.emplace_back(10, 5);
+  edges.emplace_back(11, 1);  // pendant-ish 11: two edges to leaves
+  edges.emplace_back(11, 2);
+  const Graph g = Graph::from_edges(12, edges);
+  ASSERT_EQ(g.degree(10), g.degree(11));
+
+  const auto split =
+      select_hybrid_vertices(g, 0.25, HybridSelection::EdgeInfo, 1);  // top 3
+  const std::set<Vertex> high(split.high.begin(), split.high.end());
+  EXPECT_TRUE(high.contains(0));
+  EXPECT_TRUE(high.contains(5));
+  EXPECT_TRUE(high.contains(10));  // bridge beats the pendant
+}
+
+TEST(Selection, HybridRunsWithEveryStrategy) {
+  generator::DcsbmParams p;
+  p.num_vertices = 240;
+  p.num_communities = 6;
+  p.num_edges = 2400;
+  p.ratio_within_between = 5.0;
+  p.seed = 91;
+  const auto g = generator::generate_dcsbm(p);
+  for (const auto strategy :
+       {HybridSelection::Degree, HybridSelection::EdgeInfo,
+        HybridSelection::Random}) {
+    SbpConfig config;
+    config.variant = Variant::Hybrid;
+    config.hybrid_selection = strategy;
+    config.seed = 4;
+    const auto result = run(g.graph, config);
+    EXPECT_GT(metrics::nmi(g.ground_truth, result.assignment), 0.75)
+        << selection_name(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace hsbp::sbp

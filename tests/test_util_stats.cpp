@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hsbp::util {
+namespace {
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> v = {4.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.5);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample variance (n-1): sum of squares = 32, / 7.
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase) {
+  // I_{1/2}(a, a) = 1/2 for any a.
+  for (const double a : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(regularized_incomplete_beta(a, a, 0.5), 0.5, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (const double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_x(2, 2) = x^2 (3 - 2x).
+  for (const double x : {0.2, 0.4, 0.6, 0.8}) {
+    EXPECT_NEAR(regularized_incomplete_beta(2.0, 2.0, x),
+                x * x * (3.0 - 2.0 * x), 1e-10);
+  }
+}
+
+TEST(Pearson, PerfectPositiveCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  const Correlation c = pearson(x, y);
+  EXPECT_NEAR(c.r, 1.0, 1e-12);
+  EXPECT_NEAR(c.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(c.slope, 2.0, 1e-12);
+  EXPECT_NEAR(c.intercept, 0.0, 1e-12);
+  EXPECT_NEAR(c.p_value, 0.0, 1e-9);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  const Correlation c = pearson(x, y);
+  EXPECT_NEAR(c.r, -1.0, 1e-12);
+  EXPECT_NEAR(c.slope, -2.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputIsDegenerate) {
+  const std::vector<double> x = {3, 3, 3, 3};
+  const std::vector<double> y = {1, 2, 3, 4};
+  const Correlation c = pearson(x, y);
+  EXPECT_EQ(c.r, 0.0);
+  EXPECT_EQ(c.p_value, 1.0);
+}
+
+TEST(Pearson, UncorrelatedNoiseHasHighPValue) {
+  Rng rng(101);
+  std::vector<double> x(50), y(50);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  const Correlation c = pearson(x, y);
+  EXPECT_LT(c.r_squared, 0.2);
+  EXPECT_GT(c.p_value, 0.001);
+}
+
+TEST(Pearson, NoisyLinearRelationshipDetected) {
+  Rng rng(202);
+  std::vector<double> x(100), y(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform();
+    y[i] = 3.0 * x[i] + 0.1 * (rng.uniform() - 0.5);
+  }
+  const Correlation c = pearson(x, y);
+  EXPECT_GT(c.r_squared, 0.95);
+  EXPECT_LT(c.p_value, 1e-10);
+  EXPECT_NEAR(c.slope, 3.0, 0.2);
+}
+
+TEST(Pearson, TooFewPointsReturnsDefault) {
+  const std::vector<double> one = {1.0};
+  const Correlation c = pearson(one, one);
+  EXPECT_EQ(c.r, 0.0);
+  EXPECT_EQ(c.p_value, 1.0);
+}
+
+TEST(Pearson, PValueMatchesKnownTable) {
+  // n=5, r=0.9 → t = 0.9·sqrt(3/0.19) ≈ 3.576, two-sided p ≈ 0.0374.
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1.0, 2.5, 2.0, 4.5, 4.0};
+  const Correlation c = pearson(x, y);
+  // Recompute expected p from this sample's own r.
+  const double t = c.r * std::sqrt(3.0 / (1.0 - c.r_squared));
+  const double p =
+      regularized_incomplete_beta(1.5, 0.5, 3.0 / (3.0 + t * t));
+  EXPECT_NEAR(c.p_value, p, 1e-12);
+  EXPECT_GT(c.p_value, 0.0);
+  EXPECT_LT(c.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace hsbp::util

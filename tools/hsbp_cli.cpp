@@ -1,0 +1,322 @@
+/// \file hsbp_cli.cpp
+/// \brief The `hsbp` command-line tool: one entry point for the
+/// library's workflows.
+///
+///   hsbp generate  --suite synthetic|realworld|both --scale F --outdir D
+///   hsbp detect    <graph-file> [--algorithm sbp|asbp|hsbp|bsbp]
+///                  [--weighted] [--runs K] [--out FILE]
+///   hsbp compare   [<graph-file>] [--runs K] [generator flags]
+///   hsbp stream    [generator flags] [--parts K] [--order edge|snowball]
+///   hsbp dist      [generator flags] [--ranks R]
+///                  [--partition range|roundrobin|balanced]
+///   hsbp version
+///
+/// Each subcommand is a thin shell over the same public API the
+/// examples demonstrate; `hsbp <cmd> --help` lists the flags.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "dist/dist_sbp.hpp"
+#include "eval/experiment.hpp"
+#include "eval/partition_io.hpp"
+#include "eval/report.hpp"
+#include "generator/suites.hpp"
+#include "graph/components.hpp"
+#include "graph/io.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/pairwise.hpp"
+#include "sbp/streaming.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using hsbp::util::Args;
+
+constexpr const char* kVersion = "1.0.0";
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: hsbp <generate|detect|compare|stream|dist|score|version> "
+      "[flags]\n"
+      "run `hsbp <command> --help` for the command's flags\n");
+  std::exit(code);
+}
+
+hsbp::sbp::Variant parse_variant(const std::string& name) {
+  if (name == "sbp") return hsbp::sbp::Variant::Metropolis;
+  if (name == "asbp") return hsbp::sbp::Variant::AsyncGibbs;
+  if (name == "hsbp") return hsbp::sbp::Variant::Hybrid;
+  if (name == "bsbp") return hsbp::sbp::Variant::BatchedGibbs;
+  throw std::invalid_argument("unknown algorithm '" + name + "'");
+}
+
+hsbp::graph::Graph load_graph(const std::string& path, bool weighted) {
+  const auto weights = weighted
+                           ? hsbp::graph::WeightHandling::Multiplicity
+                           : hsbp::graph::WeightHandling::Ignore;
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".mtx") {
+    return hsbp::graph::read_matrix_market_file(path, weights);
+  }
+  return hsbp::graph::read_edge_list_file(path, weights);
+}
+
+hsbp::generator::GeneratedGraph generated_workload(const Args& args) {
+  hsbp::generator::DcsbmParams params;
+  params.num_vertices =
+      static_cast<hsbp::graph::Vertex>(args.get_int("vertices", 600));
+  params.num_communities =
+      static_cast<std::int32_t>(args.get_int("communities", 8));
+  params.num_edges = args.get_int("edges", 6000);
+  params.ratio_within_between = args.get_double("ratio", 4.0);
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  auto generated = hsbp::generator::generate_dcsbm(params);
+  generated.name = "generated";
+  return generated;
+}
+
+hsbp::sbp::SbpConfig base_config(const Args& args) {
+  hsbp::sbp::SbpConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.num_threads = static_cast<int>(args.get_int("threads", 0));
+  config.hybrid_fraction = args.get_double("fraction", 0.15);
+  config.batch_count = static_cast<int>(args.get_int("batches", 4));
+  return config;
+}
+
+int cmd_generate(const Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "hsbp generate --suite synthetic|realworld|both --scale F "
+        "--seed S --outdir DIR [--only ID]\n");
+    return 0;
+  }
+  const std::string suite = args.get_string("suite", "synthetic");
+  const double scale = args.get_double("scale", 0.01);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string outdir = args.get_string("outdir", "generated_graphs");
+  const std::string only = args.get_string("only", "");
+
+  std::vector<hsbp::generator::SuiteEntry> entries;
+  if (suite == "synthetic" || suite == "both") {
+    const auto s = hsbp::generator::synthetic_suite(scale, seed);
+    entries.insert(entries.end(), s.begin(), s.end());
+  }
+  if (suite == "realworld" || suite == "both") {
+    const auto s = hsbp::generator::realworld_surrogate_suite(scale, seed);
+    entries.insert(entries.end(), s.begin(), s.end());
+  }
+  if (entries.empty()) {
+    throw std::invalid_argument("--suite must be synthetic|realworld|both");
+  }
+
+  std::filesystem::create_directories(outdir);
+  int written = 0;
+  for (const auto& entry : entries) {
+    if (!only.empty() && entry.id != only) continue;
+    const auto generated = hsbp::generator::generate(entry);
+    hsbp::graph::write_matrix_market_file(generated.graph,
+                                          outdir + "/" + entry.id + ".mtx");
+    std::printf("%s: V=%d E=%lld -> %s/%s.mtx\n", entry.id.c_str(),
+                generated.graph.num_vertices(),
+                static_cast<long long>(generated.graph.num_edges()),
+                outdir.c_str(), entry.id.c_str());
+    ++written;
+  }
+  if (written == 0) throw std::invalid_argument("no suite entry matched");
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  if (args.has("help") || args.positionals().empty()) {
+    std::printf(
+        "hsbp detect <graph-file> [--algorithm sbp|asbp|hsbp|bsbp] "
+        "[--weighted] [--runs K] [--seed S] [--threads T] [--out FILE]\n");
+    return args.has("help") ? 0 : 2;
+  }
+  const auto graph = load_graph(args.positionals().front(),
+                                args.get_bool("weighted", false));
+  const auto components = hsbp::graph::weakly_connected_components(graph);
+  std::printf("V=%d E=%lld components=%d\n", graph.num_vertices(),
+              static_cast<long long>(graph.num_edges()), components.count);
+
+  hsbp::sbp::SbpConfig config = base_config(args);
+  config.variant = parse_variant(args.get_string("algorithm", "hsbp"));
+  const int runs = static_cast<int>(args.get_int("runs", 5));
+  const auto outcome = hsbp::eval::best_of(graph, config, runs);
+
+  std::printf("%s best-of-%d: %d communities, MDL %.2f (norm %.4f), "
+              "modularity %.4f\n",
+              hsbp::sbp::variant_name(config.variant), runs,
+              outcome.best.num_blocks, outcome.best.mdl,
+              hsbp::metrics::normalized_mdl(outcome.best.mdl,
+                                            graph.num_vertices(),
+                                            graph.num_edges()),
+              hsbp::metrics::modularity(graph, outcome.best.assignment));
+
+  if (args.has("out")) {
+    const std::string path = args.get_string("out", "");
+    hsbp::eval::save_assignment_file(outcome.best.assignment, path);
+    std::printf("assignment -> %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "hsbp compare [<graph-file>] [--runs K] [--vertices N] "
+        "[--communities C] [--edges E] [--ratio R] [--seed S]\n");
+    return 0;
+  }
+  hsbp::generator::GeneratedGraph workload;
+  if (!args.positionals().empty()) {
+    workload.graph = load_graph(args.positionals().front(),
+                                args.get_bool("weighted", false));
+    workload.name = args.positionals().front();
+  } else {
+    workload = generated_workload(args);
+  }
+
+  const int runs = static_cast<int>(args.get_int("runs", 3));
+  std::vector<hsbp::eval::ExperimentRow> rows;
+  for (const auto variant :
+       {hsbp::sbp::Variant::Metropolis, hsbp::sbp::Variant::Hybrid,
+        hsbp::sbp::Variant::AsyncGibbs, hsbp::sbp::Variant::BatchedGibbs}) {
+    rows.push_back(hsbp::eval::run_experiment(workload, variant,
+                                              base_config(args), runs));
+  }
+  hsbp::eval::print_quality_table(rows, std::cout);
+  hsbp::eval::print_speedup_table(rows, std::cout);
+  if (args.has("csv")) {
+    hsbp::eval::write_rows_csv_file(rows, args.get_string("csv", ""));
+  }
+  return 0;
+}
+
+int cmd_stream(const Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "hsbp stream [--parts K] [--order edge|snowball] [generator "
+        "flags] [--algorithm ...]\n");
+    return 0;
+  }
+  const auto generated = generated_workload(args);
+  const int parts = static_cast<int>(args.get_int("parts", 4));
+  const std::string order_name = args.get_string("order", "edge");
+  const auto order = order_name == "snowball"
+                         ? hsbp::generator::StreamingOrder::Snowball
+                         : hsbp::generator::StreamingOrder::EdgeSampling;
+  const auto stream = hsbp::generator::streaming_snapshots(
+      generated, parts, order,
+      static_cast<std::uint64_t>(args.get_int("seed", 1)) + 1);
+
+  hsbp::sbp::SbpConfig config = base_config(args);
+  config.variant = parse_variant(args.get_string("algorithm", "hsbp"));
+  const auto result = hsbp::sbp::run_streaming(stream.snapshots, config);
+
+  hsbp::util::Table table({"part", "V", "E", "blocks", "NMI"});
+  for (std::size_t i = 0; i < result.snapshots.size(); ++i) {
+    const auto arrived =
+        static_cast<std::size_t>(stream.snapshots[i].num_vertices());
+    const std::vector<std::int32_t> truth(
+        stream.ground_truth.begin(),
+        stream.ground_truth.begin() + static_cast<std::ptrdiff_t>(arrived));
+    table.row()
+        .cell(static_cast<std::int64_t>(i + 1))
+        .cell(static_cast<std::int64_t>(stream.snapshots[i].num_vertices()))
+        .cell(stream.snapshots[i].num_edges())
+        .cell(static_cast<std::int64_t>(result.snapshots[i].num_blocks))
+        .cell(hsbp::metrics::nmi(truth, result.snapshots[i].assignment), 3);
+  }
+  table.print(std::cout);
+  std::printf("total: %.2fs\n", result.total_seconds);
+  return 0;
+}
+
+int cmd_score(const Args& args) {
+  if (args.has("help") || args.positionals().size() != 2) {
+    std::printf(
+        "hsbp score <truth.tsv> <predicted.tsv> — NMI/ARI/pairwise-F1 "
+        "between two assignment files\n");
+    return args.has("help") ? 0 : 2;
+  }
+  const auto truth =
+      hsbp::eval::load_assignment_file(args.positionals()[0]);
+  const auto predicted =
+      hsbp::eval::load_assignment_file(args.positionals()[1]);
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("assignments cover different vertex sets (" +
+                                std::to_string(truth.size()) + " vs " +
+                                std::to_string(predicted.size()) + ")");
+  }
+  const auto pairwise = hsbp::metrics::pairwise_scores(truth, predicted);
+  std::printf("NMI        %.4f\n", hsbp::metrics::nmi(truth, predicted));
+  std::printf("ARI        %.4f\n",
+              hsbp::metrics::adjusted_rand_index(truth, predicted));
+  std::printf("pair-P/R/F %.4f / %.4f / %.4f\n", pairwise.precision,
+              pairwise.recall, pairwise.f1);
+  return 0;
+}
+
+int cmd_dist(const Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "hsbp dist [--ranks R] [--partition range|roundrobin|balanced] "
+        "[generator flags]\n");
+    return 0;
+  }
+  const auto generated = generated_workload(args);
+  hsbp::dist::DistributedConfig config;
+  config.base = base_config(args);
+  config.ranks = static_cast<int>(args.get_int("ranks", 4));
+  const std::string strategy = args.get_string("partition", "balanced");
+  config.strategy =
+      strategy == "range" ? hsbp::dist::PartitionStrategy::Range
+      : strategy == "roundrobin"
+          ? hsbp::dist::PartitionStrategy::RoundRobin
+          : hsbp::dist::PartitionStrategy::DegreeBalanced;
+
+  const auto out = hsbp::dist::run_distributed(generated.graph, config);
+  std::printf(
+      "D-SBP on %d ranks (%s, imbalance %.2f): %d communities, NMI %.3f\n",
+      config.ranks, hsbp::dist::strategy_name(config.strategy),
+      out.partition_imbalance, out.result.num_blocks,
+      hsbp::metrics::nmi(generated.ground_truth, out.result.assignment));
+  std::printf("communication: %.3f MB total (%zu collectives)\n",
+              static_cast<double>(out.comm.total_bytes()) / (1024.0 * 1024.0),
+              out.comm.collective_count());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  const std::string command = argv[1];
+  const Args args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "detect") return cmd_detect(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "stream") return cmd_stream(args);
+    if (command == "dist") return cmd_dist(args);
+    if (command == "score") return cmd_score(args);
+    if (command == "version") {
+      std::printf("hsbp %s\n", kVersion);
+      return 0;
+    }
+    if (command == "--help" || command == "help") usage(0);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    usage(2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
