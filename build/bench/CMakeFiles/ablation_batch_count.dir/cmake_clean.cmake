@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_count.dir/ablation_batch_count.cpp.o"
+  "CMakeFiles/ablation_batch_count.dir/ablation_batch_count.cpp.o.d"
+  "ablation_batch_count"
+  "ablation_batch_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_influence.dir/ablation_influence.cpp.o"
+  "CMakeFiles/ablation_influence.dir/ablation_influence.cpp.o.d"
+  "ablation_influence"
+  "ablation_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_kernels.dir/bm_kernels.cpp.o"
+  "CMakeFiles/bm_kernels.dir/bm_kernels.cpp.o.d"
+  "bm_kernels"
+  "bm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_streaming_warmstart.dir/ext_streaming_warmstart.cpp.o"
+  "CMakeFiles/ext_streaming_warmstart.dir/ext_streaming_warmstart.cpp.o.d"
+  "ext_streaming_warmstart"
+  "ext_streaming_warmstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_streaming_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

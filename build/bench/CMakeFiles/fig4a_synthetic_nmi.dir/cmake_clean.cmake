@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_synthetic_nmi.dir/fig4a_synthetic_nmi.cpp.o"
+  "CMakeFiles/fig4a_synthetic_nmi.dir/fig4a_synthetic_nmi.cpp.o.d"
+  "fig4a_synthetic_nmi"
+  "fig4a_synthetic_nmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_synthetic_nmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

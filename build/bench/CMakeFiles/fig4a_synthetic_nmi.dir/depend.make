@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4a_synthetic_nmi.
+# This may be replaced when dependencies are built.

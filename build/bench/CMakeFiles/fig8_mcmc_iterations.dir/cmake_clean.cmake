@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mcmc_iterations.dir/fig8_mcmc_iterations.cpp.o"
+  "CMakeFiles/fig8_mcmc_iterations.dir/fig8_mcmc_iterations.cpp.o.d"
+  "fig8_mcmc_iterations"
+  "fig8_mcmc_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mcmc_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

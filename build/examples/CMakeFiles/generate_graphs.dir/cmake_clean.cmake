@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_graphs.dir/generate_graphs.cpp.o"
+  "CMakeFiles/generate_graphs.dir/generate_graphs.cpp.o.d"
+  "generate_graphs"
+  "generate_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockmodel/blockmodel.cpp" "src/CMakeFiles/hsbp.dir/blockmodel/blockmodel.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/blockmodel/blockmodel.cpp.o.d"
+  "/root/repo/src/blockmodel/dense_matrix.cpp" "src/CMakeFiles/hsbp.dir/blockmodel/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/blockmodel/dense_matrix.cpp.o.d"
+  "/root/repo/src/blockmodel/dict_transpose_matrix.cpp" "src/CMakeFiles/hsbp.dir/blockmodel/dict_transpose_matrix.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/blockmodel/dict_transpose_matrix.cpp.o.d"
+  "/root/repo/src/blockmodel/mdl.cpp" "src/CMakeFiles/hsbp.dir/blockmodel/mdl.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/blockmodel/mdl.cpp.o.d"
+  "/root/repo/src/blockmodel/merge_delta.cpp" "src/CMakeFiles/hsbp.dir/blockmodel/merge_delta.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/blockmodel/merge_delta.cpp.o.d"
+  "/root/repo/src/blockmodel/vertex_move_delta.cpp" "src/CMakeFiles/hsbp.dir/blockmodel/vertex_move_delta.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/blockmodel/vertex_move_delta.cpp.o.d"
+  "/root/repo/src/dist/comm.cpp" "src/CMakeFiles/hsbp.dir/dist/comm.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/dist/comm.cpp.o.d"
+  "/root/repo/src/dist/dist_sbp.cpp" "src/CMakeFiles/hsbp.dir/dist/dist_sbp.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/dist/dist_sbp.cpp.o.d"
+  "/root/repo/src/dist/partition.cpp" "src/CMakeFiles/hsbp.dir/dist/partition.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/dist/partition.cpp.o.d"
+  "/root/repo/src/eval/experiment.cpp" "src/CMakeFiles/hsbp.dir/eval/experiment.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/eval/experiment.cpp.o.d"
+  "/root/repo/src/eval/partition_io.cpp" "src/CMakeFiles/hsbp.dir/eval/partition_io.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/eval/partition_io.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/hsbp.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/eval/report.cpp.o.d"
+  "/root/repo/src/eval/runner.cpp" "src/CMakeFiles/hsbp.dir/eval/runner.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/eval/runner.cpp.o.d"
+  "/root/repo/src/generator/dcsbm.cpp" "src/CMakeFiles/hsbp.dir/generator/dcsbm.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/generator/dcsbm.cpp.o.d"
+  "/root/repo/src/generator/power_law.cpp" "src/CMakeFiles/hsbp.dir/generator/power_law.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/generator/power_law.cpp.o.d"
+  "/root/repo/src/generator/streaming.cpp" "src/CMakeFiles/hsbp.dir/generator/streaming.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/generator/streaming.cpp.o.d"
+  "/root/repo/src/generator/suites.cpp" "src/CMakeFiles/hsbp.dir/generator/suites.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/generator/suites.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/hsbp.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/hsbp.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/degree.cpp" "src/CMakeFiles/hsbp.dir/graph/degree.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/graph/degree.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/hsbp.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io_edgelist.cpp" "src/CMakeFiles/hsbp.dir/graph/io_edgelist.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/graph/io_edgelist.cpp.o.d"
+  "/root/repo/src/graph/io_matrix_market.cpp" "src/CMakeFiles/hsbp.dir/graph/io_matrix_market.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/graph/io_matrix_market.cpp.o.d"
+  "/root/repo/src/metrics/contingency.cpp" "src/CMakeFiles/hsbp.dir/metrics/contingency.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/metrics/contingency.cpp.o.d"
+  "/root/repo/src/metrics/modularity.cpp" "src/CMakeFiles/hsbp.dir/metrics/modularity.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/metrics/modularity.cpp.o.d"
+  "/root/repo/src/metrics/nmi.cpp" "src/CMakeFiles/hsbp.dir/metrics/nmi.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/metrics/nmi.cpp.o.d"
+  "/root/repo/src/metrics/normalized_mdl.cpp" "src/CMakeFiles/hsbp.dir/metrics/normalized_mdl.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/metrics/normalized_mdl.cpp.o.d"
+  "/root/repo/src/metrics/pairwise.cpp" "src/CMakeFiles/hsbp.dir/metrics/pairwise.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/metrics/pairwise.cpp.o.d"
+  "/root/repo/src/sbp/async_gibbs.cpp" "src/CMakeFiles/hsbp.dir/sbp/async_gibbs.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/async_gibbs.cpp.o.d"
+  "/root/repo/src/sbp/batched_gibbs.cpp" "src/CMakeFiles/hsbp.dir/sbp/batched_gibbs.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/batched_gibbs.cpp.o.d"
+  "/root/repo/src/sbp/block_merge.cpp" "src/CMakeFiles/hsbp.dir/sbp/block_merge.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/block_merge.cpp.o.d"
+  "/root/repo/src/sbp/golden_search.cpp" "src/CMakeFiles/hsbp.dir/sbp/golden_search.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/golden_search.cpp.o.d"
+  "/root/repo/src/sbp/hastings.cpp" "src/CMakeFiles/hsbp.dir/sbp/hastings.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/hastings.cpp.o.d"
+  "/root/repo/src/sbp/hybrid.cpp" "src/CMakeFiles/hsbp.dir/sbp/hybrid.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/hybrid.cpp.o.d"
+  "/root/repo/src/sbp/influence.cpp" "src/CMakeFiles/hsbp.dir/sbp/influence.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/influence.cpp.o.d"
+  "/root/repo/src/sbp/mcmc_common.cpp" "src/CMakeFiles/hsbp.dir/sbp/mcmc_common.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/mcmc_common.cpp.o.d"
+  "/root/repo/src/sbp/metropolis_hastings.cpp" "src/CMakeFiles/hsbp.dir/sbp/metropolis_hastings.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/metropolis_hastings.cpp.o.d"
+  "/root/repo/src/sbp/proposal.cpp" "src/CMakeFiles/hsbp.dir/sbp/proposal.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/proposal.cpp.o.d"
+  "/root/repo/src/sbp/sbp.cpp" "src/CMakeFiles/hsbp.dir/sbp/sbp.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/sbp.cpp.o.d"
+  "/root/repo/src/sbp/streaming.cpp" "src/CMakeFiles/hsbp.dir/sbp/streaming.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/streaming.cpp.o.d"
+  "/root/repo/src/sbp/vertex_selection.cpp" "src/CMakeFiles/hsbp.dir/sbp/vertex_selection.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/vertex_selection.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/hsbp.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/logger.cpp" "src/CMakeFiles/hsbp.dir/util/logger.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/util/logger.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/hsbp.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/hsbp.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/hsbp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/hsbp.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

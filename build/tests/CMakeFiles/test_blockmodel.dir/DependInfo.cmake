@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_blockmodel_core.cpp" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_core.cpp.o" "gcc" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_core.cpp.o.d"
+  "/root/repo/tests/test_blockmodel_deltas.cpp" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_deltas.cpp.o" "gcc" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_deltas.cpp.o.d"
+  "/root/repo/tests/test_blockmodel_dense.cpp" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_dense.cpp.o" "gcc" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_dense.cpp.o.d"
+  "/root/repo/tests/test_blockmodel_edge_cases.cpp" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_blockmodel_matrix.cpp" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_matrix.cpp.o.d"
+  "/root/repo/tests/test_blockmodel_mdl.cpp" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_mdl.cpp.o" "gcc" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_mdl.cpp.o.d"
+  "/root/repo/tests/test_blockmodel_properties.cpp" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_properties.cpp.o" "gcc" "tests/CMakeFiles/test_blockmodel.dir/test_blockmodel_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hsbp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

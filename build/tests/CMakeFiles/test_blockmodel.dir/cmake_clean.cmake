@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_core.cpp.o"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_core.cpp.o.d"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_deltas.cpp.o"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_deltas.cpp.o.d"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_dense.cpp.o"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_dense.cpp.o.d"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_edge_cases.cpp.o"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_edge_cases.cpp.o.d"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_matrix.cpp.o"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_matrix.cpp.o.d"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_mdl.cpp.o"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_mdl.cpp.o.d"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_properties.cpp.o"
+  "CMakeFiles/test_blockmodel.dir/test_blockmodel_properties.cpp.o.d"
+  "test_blockmodel"
+  "test_blockmodel.pdb"
+  "test_blockmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blockmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

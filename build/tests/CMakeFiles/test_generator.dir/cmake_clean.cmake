@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generator.dir/test_generator_dcsbm.cpp.o"
+  "CMakeFiles/test_generator.dir/test_generator_dcsbm.cpp.o.d"
+  "CMakeFiles/test_generator.dir/test_generator_streaming.cpp.o"
+  "CMakeFiles/test_generator.dir/test_generator_streaming.cpp.o.d"
+  "CMakeFiles/test_generator.dir/test_generator_suites.cpp.o"
+  "CMakeFiles/test_generator.dir/test_generator_suites.cpp.o.d"
+  "test_generator"
+  "test_generator.pdb"
+  "test_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

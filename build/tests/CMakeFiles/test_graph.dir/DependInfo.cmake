@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_graph_components.cpp" "tests/CMakeFiles/test_graph.dir/test_graph_components.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph_components.cpp.o.d"
+  "/root/repo/tests/test_graph_core.cpp" "tests/CMakeFiles/test_graph.dir/test_graph_core.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph_core.cpp.o.d"
+  "/root/repo/tests/test_graph_degree.cpp" "tests/CMakeFiles/test_graph.dir/test_graph_degree.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph_degree.cpp.o.d"
+  "/root/repo/tests/test_graph_fuzz_invariants.cpp" "tests/CMakeFiles/test_graph.dir/test_graph_fuzz_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph_fuzz_invariants.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/test_graph.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_graph_io_fuzz.cpp" "tests/CMakeFiles/test_graph.dir/test_graph_io_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph_io_fuzz.cpp.o.d"
+  "/root/repo/tests/test_graph_weighted_io.cpp" "tests/CMakeFiles/test_graph.dir/test_graph_weighted_io.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/test_graph_weighted_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hsbp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

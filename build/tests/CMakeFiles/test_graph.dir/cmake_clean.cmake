@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/test_graph_components.cpp.o"
+  "CMakeFiles/test_graph.dir/test_graph_components.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_graph_core.cpp.o"
+  "CMakeFiles/test_graph.dir/test_graph_core.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_graph_degree.cpp.o"
+  "CMakeFiles/test_graph.dir/test_graph_degree.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_graph_fuzz_invariants.cpp.o"
+  "CMakeFiles/test_graph.dir/test_graph_fuzz_invariants.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_graph_io.cpp.o"
+  "CMakeFiles/test_graph.dir/test_graph_io.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_graph_io_fuzz.cpp.o"
+  "CMakeFiles/test_graph.dir/test_graph_io_fuzz.cpp.o.d"
+  "CMakeFiles/test_graph.dir/test_graph_weighted_io.cpp.o"
+  "CMakeFiles/test_graph.dir/test_graph_weighted_io.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

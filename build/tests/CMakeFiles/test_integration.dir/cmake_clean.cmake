@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/test_integration_end_to_end.cpp.o"
+  "CMakeFiles/test_integration.dir/test_integration_end_to_end.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_integration_eval.cpp.o"
+  "CMakeFiles/test_integration.dir/test_integration_eval.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_integration_partition_io.cpp.o"
+  "CMakeFiles/test_integration.dir/test_integration_partition_io.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_integration_remaining.cpp.o"
+  "CMakeFiles/test_integration.dir/test_integration_remaining.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

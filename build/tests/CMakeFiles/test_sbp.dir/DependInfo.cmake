@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sbp_async_pass.cpp" "tests/CMakeFiles/test_sbp.dir/test_sbp_async_pass.cpp.o" "gcc" "tests/CMakeFiles/test_sbp.dir/test_sbp_async_pass.cpp.o.d"
+  "/root/repo/tests/test_sbp_batched.cpp" "tests/CMakeFiles/test_sbp.dir/test_sbp_batched.cpp.o" "gcc" "tests/CMakeFiles/test_sbp.dir/test_sbp_batched.cpp.o.d"
+  "/root/repo/tests/test_sbp_phases.cpp" "tests/CMakeFiles/test_sbp.dir/test_sbp_phases.cpp.o" "gcc" "tests/CMakeFiles/test_sbp.dir/test_sbp_phases.cpp.o.d"
+  "/root/repo/tests/test_sbp_proposal.cpp" "tests/CMakeFiles/test_sbp.dir/test_sbp_proposal.cpp.o" "gcc" "tests/CMakeFiles/test_sbp.dir/test_sbp_proposal.cpp.o.d"
+  "/root/repo/tests/test_sbp_proposal_exact.cpp" "tests/CMakeFiles/test_sbp.dir/test_sbp_proposal_exact.cpp.o" "gcc" "tests/CMakeFiles/test_sbp.dir/test_sbp_proposal_exact.cpp.o.d"
+  "/root/repo/tests/test_sbp_run.cpp" "tests/CMakeFiles/test_sbp.dir/test_sbp_run.cpp.o" "gcc" "tests/CMakeFiles/test_sbp.dir/test_sbp_run.cpp.o.d"
+  "/root/repo/tests/test_sbp_selection.cpp" "tests/CMakeFiles/test_sbp.dir/test_sbp_selection.cpp.o" "gcc" "tests/CMakeFiles/test_sbp.dir/test_sbp_selection.cpp.o.d"
+  "/root/repo/tests/test_sbp_streaming.cpp" "tests/CMakeFiles/test_sbp.dir/test_sbp_streaming.cpp.o" "gcc" "tests/CMakeFiles/test_sbp.dir/test_sbp_streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hsbp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

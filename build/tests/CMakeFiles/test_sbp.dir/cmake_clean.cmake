@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sbp.dir/test_sbp_async_pass.cpp.o"
+  "CMakeFiles/test_sbp.dir/test_sbp_async_pass.cpp.o.d"
+  "CMakeFiles/test_sbp.dir/test_sbp_batched.cpp.o"
+  "CMakeFiles/test_sbp.dir/test_sbp_batched.cpp.o.d"
+  "CMakeFiles/test_sbp.dir/test_sbp_phases.cpp.o"
+  "CMakeFiles/test_sbp.dir/test_sbp_phases.cpp.o.d"
+  "CMakeFiles/test_sbp.dir/test_sbp_proposal.cpp.o"
+  "CMakeFiles/test_sbp.dir/test_sbp_proposal.cpp.o.d"
+  "CMakeFiles/test_sbp.dir/test_sbp_proposal_exact.cpp.o"
+  "CMakeFiles/test_sbp.dir/test_sbp_proposal_exact.cpp.o.d"
+  "CMakeFiles/test_sbp.dir/test_sbp_run.cpp.o"
+  "CMakeFiles/test_sbp.dir/test_sbp_run.cpp.o.d"
+  "CMakeFiles/test_sbp.dir/test_sbp_selection.cpp.o"
+  "CMakeFiles/test_sbp.dir/test_sbp_selection.cpp.o.d"
+  "CMakeFiles/test_sbp.dir/test_sbp_streaming.cpp.o"
+  "CMakeFiles/test_sbp.dir/test_sbp_streaming.cpp.o.d"
+  "test_sbp"
+  "test_sbp.pdb"
+  "test_sbp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/test_util_args.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_args.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_util_misc.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_misc.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_util_rng.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_util_stats.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_stats.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsbp_cli.dir/hsbp_cli.cpp.o"
+  "CMakeFiles/hsbp_cli.dir/hsbp_cli.cpp.o.d"
+  "hsbp"
+  "hsbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsbp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
