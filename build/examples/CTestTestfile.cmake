@@ -5,12 +5,12 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(example_quickstart "/root/repo/build/examples/quickstart" "--vertices" "120" "--communities" "4" "--edges" "900")
-set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_compare_algorithms "/root/repo/build/examples/compare_algorithms" "--vertices" "120" "--communities" "4" "--edges" "900" "--runs" "1" "--influence")
-set_tests_properties(example_compare_algorithms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_compare_algorithms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_streaming_detection "/root/repo/build/examples/streaming_detection" "--vertices" "150" "--communities" "4" "--edges" "1200" "--parts" "3")
-set_tests_properties(example_streaming_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_streaming_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_generate_graphs "/root/repo/build/examples/generate_graphs" "--suite" "synthetic" "--scale" "0.0005" "--only" "S1" "--outdir" "/root/repo/build/examples/smoke")
-set_tests_properties(example_generate_graphs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_generate_graphs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_detect_communities "/root/repo/build/examples/detect_communities" "/root/repo/build/examples/smoke/S1.mtx" "--runs" "1")
-set_tests_properties(example_detect_communities PROPERTIES  DEPENDS "example_generate_graphs" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_detect_communities PROPERTIES  DEPENDS "example_generate_graphs" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

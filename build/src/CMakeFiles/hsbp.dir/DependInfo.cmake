@@ -36,6 +36,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/metrics/nmi.cpp" "src/CMakeFiles/hsbp.dir/metrics/nmi.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/metrics/nmi.cpp.o.d"
   "/root/repo/src/metrics/normalized_mdl.cpp" "src/CMakeFiles/hsbp.dir/metrics/normalized_mdl.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/metrics/normalized_mdl.cpp.o.d"
   "/root/repo/src/metrics/pairwise.cpp" "src/CMakeFiles/hsbp.dir/metrics/pairwise.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/metrics/pairwise.cpp.o.d"
+  "/root/repo/src/sample/extrapolate.cpp" "src/CMakeFiles/hsbp.dir/sample/extrapolate.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sample/extrapolate.cpp.o.d"
+  "/root/repo/src/sample/sample_sbp.cpp" "src/CMakeFiles/hsbp.dir/sample/sample_sbp.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sample/sample_sbp.cpp.o.d"
+  "/root/repo/src/sample/samplers.cpp" "src/CMakeFiles/hsbp.dir/sample/samplers.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sample/samplers.cpp.o.d"
   "/root/repo/src/sbp/async_gibbs.cpp" "src/CMakeFiles/hsbp.dir/sbp/async_gibbs.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/async_gibbs.cpp.o.d"
   "/root/repo/src/sbp/batched_gibbs.cpp" "src/CMakeFiles/hsbp.dir/sbp/batched_gibbs.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/batched_gibbs.cpp.o.d"
   "/root/repo/src/sbp/block_merge.cpp" "src/CMakeFiles/hsbp.dir/sbp/block_merge.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/sbp/block_merge.cpp.o.d"

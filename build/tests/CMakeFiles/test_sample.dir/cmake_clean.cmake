@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample.dir/test_sample_pipeline.cpp.o"
+  "CMakeFiles/test_sample.dir/test_sample_pipeline.cpp.o.d"
+  "CMakeFiles/test_sample.dir/test_sample_samplers.cpp.o"
+  "CMakeFiles/test_sample.dir/test_sample_samplers.cpp.o.d"
+  "test_sample"
+  "test_sample.pdb"
+  "test_sample[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

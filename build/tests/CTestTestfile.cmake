@@ -9,6 +9,7 @@ include("/root/repo/build/tests/test_graph[1]_include.cmake")
 include("/root/repo/build/tests/test_generator[1]_include.cmake")
 include("/root/repo/build/tests/test_blockmodel[1]_include.cmake")
 include("/root/repo/build/tests/test_sbp[1]_include.cmake")
+include("/root/repo/build/tests/test_sample[1]_include.cmake")
 include("/root/repo/build/tests/test_metrics[1]_include.cmake")
 include("/root/repo/build/tests/test_dist[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -8,15 +8,17 @@ add_test(cli_version "/root/repo/build/tools/hsbp" "version")
 set_tests_properties(cli_version PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_compare "/root/repo/build/tools/hsbp" "compare" "--vertices" "120" "--communities" "4" "--edges" "900" "--runs" "1")
 set_tests_properties(cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sample "/root/repo/build/tools/hsbp" "sample" "--vertices" "150" "--communities" "4" "--edges" "1200" "--sample-frac" "0.4" "--sampler" "degree" "--baseline")
+set_tests_properties(cli_sample PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_stream "/root/repo/build/tools/hsbp" "stream" "--vertices" "150" "--communities" "4" "--edges" "1200" "--parts" "3")
-set_tests_properties(cli_stream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_stream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_dist "/root/repo/build/tools/hsbp" "dist" "--vertices" "150" "--communities" "4" "--edges" "1200" "--ranks" "3")
-set_tests_properties(cli_dist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_dist PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_generate_and_detect "/root/repo/build/tools/hsbp" "generate" "--suite" "synthetic" "--scale" "0.0005" "--only" "S2" "--outdir" "/root/repo/build/tools/cli_smoke")
-set_tests_properties(cli_generate_and_detect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_generate_and_detect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_detect "/root/repo/build/tools/hsbp" "detect" "/root/repo/build/tools/cli_smoke/S2.mtx" "--runs" "1")
-set_tests_properties(cli_detect PROPERTIES  DEPENDS "cli_generate_and_detect" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_detect PROPERTIES  DEPENDS "cli_generate_and_detect" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_rejects_unknown_command "/root/repo/build/tools/hsbp" "frobnicate")
-set_tests_properties(cli_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_detect_save_then_score "sh" "-c" "./hsbp detect /root/repo/build/tools/cli_smoke/S2.mtx                 --runs 1 --out /root/repo/build/tools/cli_smoke/p.tsv             && ./hsbp score /root/repo/build/tools/cli_smoke/p.tsv                 /root/repo/build/tools/cli_smoke/p.tsv")
-set_tests_properties(cli_detect_save_then_score PROPERTIES  DEPENDS "cli_generate_and_detect" WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_detect_save_then_score PROPERTIES  DEPENDS "cli_generate_and_detect" WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")

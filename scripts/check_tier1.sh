@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the exact verify line from ROADMAP.md, with an
+# optional sanitizer toggle.
+#
+# Usage: scripts/check_tier1.sh [BUILD_DIR]
+#   HSBP_SANITIZE=address,undefined scripts/check_tier1.sh build-asan
+#
+# Environment:
+#   HSBP_SANITIZE   comma-separated sanitizer list forwarded as
+#                   -DHSBP_SANITIZE=... (empty = plain build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+CMAKE_FLAGS=()
+if [[ -n "${HSBP_SANITIZE:-}" ]]; then
+  CMAKE_FLAGS+=("-DHSBP_SANITIZE=${HSBP_SANITIZE}")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR" && ctest --output-on-failure -j

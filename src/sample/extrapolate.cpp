@@ -1,0 +1,119 @@
+#include "sample/extrapolate.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace hsbp::sample {
+
+using blockmodel::BlockId;
+using graph::Graph;
+using graph::Vertex;
+
+namespace {
+
+/// Plurality block among v's already-labeled neighbors, counting edge
+/// multiplicity in both directions; −1 if no neighbor is labeled yet.
+BlockId plurality_block(const Graph& graph,
+                        const std::vector<std::int32_t>& assignment,
+                        std::vector<std::int64_t>& votes,
+                        std::vector<BlockId>& touched, Vertex v) {
+  touched.clear();
+  const auto tally = [&](Vertex u) {
+    const std::int32_t block = assignment[static_cast<std::size_t>(u)];
+    if (block < 0) return;
+    if (votes[static_cast<std::size_t>(block)] == 0) touched.push_back(block);
+    ++votes[static_cast<std::size_t>(block)];
+  };
+  for (const Vertex u : graph.out_neighbors(v)) tally(u);
+  for (const Vertex u : graph.in_neighbors(v)) tally(u);
+
+  BlockId best = -1;
+  std::int64_t best_votes = 0;
+  for (const BlockId block : touched) {
+    const std::int64_t count = votes[static_cast<std::size_t>(block)];
+    votes[static_cast<std::size_t>(block)] = 0;
+    if (count > best_votes || (count == best_votes && block < best)) {
+      best = block;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ExtrapolationResult extrapolate(
+    const Graph& graph, const SampledGraph& sampled,
+    std::span<const std::int32_t> sample_assignment, BlockId num_blocks) {
+  if (sample_assignment.size() != sampled.to_full.size()) {
+    throw std::invalid_argument(
+        "extrapolate: sample assignment size != sample size");
+  }
+  if (sampled.to_sample.size() !=
+      static_cast<std::size_t>(graph.num_vertices())) {
+    throw std::invalid_argument(
+        "extrapolate: id map does not cover the full graph");
+  }
+  if (num_blocks <= 0) {
+    throw std::invalid_argument("extrapolate: num_blocks must be positive");
+  }
+
+  ExtrapolationResult out;
+  out.num_blocks = num_blocks;
+  out.assignment.assign(static_cast<std::size_t>(graph.num_vertices()), -1);
+  for (std::size_t s = 0; s < sampled.to_full.size(); ++s) {
+    const std::int32_t block = sample_assignment[s];
+    if (block < 0 || block >= num_blocks) {
+      throw std::invalid_argument("extrapolate: label outside [0, C)");
+    }
+    out.assignment[static_cast<std::size_t>(sampled.to_full[s])] = block;
+  }
+
+  // Multi-source BFS from the sampled core (ascending id order keeps the
+  // stage deterministic). A vertex is labeled the moment it is first
+  // reached, so chains of unsampled vertices propagate memberships.
+  std::deque<Vertex> queue(sampled.to_full.begin(), sampled.to_full.end());
+  std::vector<std::int64_t> votes(static_cast<std::size_t>(num_blocks), 0);
+  std::vector<BlockId> touched;
+  const auto visit = [&](Vertex u) {
+    if (out.assignment[static_cast<std::size_t>(u)] >= 0) return;
+    const BlockId block =
+        plurality_block(graph, out.assignment, votes, touched, u);
+    if (block < 0) return;  // all neighbors still unlabeled; revisit later
+    out.assignment[static_cast<std::size_t>(u)] = block;
+    ++out.frontier_assigned;
+    queue.push_back(u);
+  };
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    for (const Vertex u : graph.out_neighbors(v)) visit(u);
+    for (const Vertex u : graph.in_neighbors(v)) visit(u);
+  }
+
+  // Vertices with no path to the sampled core: the globally best block
+  // is the one holding the most vertices so far (smallest id on ties).
+  BlockId fallback = 0;
+  {
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(num_blocks), 0);
+    for (const std::int32_t block : out.assignment) {
+      if (block >= 0) ++sizes[static_cast<std::size_t>(block)];
+    }
+    fallback = static_cast<BlockId>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  }
+  for (std::size_t v = 0; v < out.assignment.size(); ++v) {
+    if (out.assignment[v] < 0) {
+      out.assignment[v] = fallback;
+      ++out.isolated_assigned;
+    }
+  }
+
+  out.model =
+      blockmodel::Blockmodel::from_assignment(graph, out.assignment,
+                                              num_blocks);
+  return out;
+}
+
+}  // namespace hsbp::sample

@@ -1,0 +1,156 @@
+#include "sample/sample_sbp.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "blockmodel/mdl.hpp"
+#include "graph/degree.hpp"
+#include "sbp/mcmc_phases.hpp"
+#include "sbp/vertex_selection.hpp"
+#include "util/logger.hpp"
+#include "util/timer.hpp"
+
+namespace hsbp::sample {
+
+using blockmodel::Blockmodel;
+using graph::Graph;
+using graph::Vertex;
+
+namespace {
+
+void validate(const Graph& graph, const SampleConfig& config) {
+  if (graph.num_vertices() <= 0) {
+    throw std::invalid_argument("sample::run: empty graph");
+  }
+  if (graph.num_edges() <= 0) {
+    throw std::invalid_argument("sample::run: graph has no edges");
+  }
+  if (!(config.fraction > 0.0) || config.fraction > 1.0) {
+    throw std::invalid_argument("sample::run: fraction in (0, 1]");
+  }
+  if (config.finetune_max_iterations < 0) {
+    throw std::invalid_argument(
+        "sample::run: finetune_max_iterations >= 0");
+  }
+}
+
+/// Stage 2: fit the induced subgraph. A too-aggressive sample can leave
+/// no edges at all — then there is nothing to fit and every sampled
+/// vertex keeps its own block (the merge work happens implicitly in the
+/// fine-tune stage).
+sbp::SbpResult partition_sample(const Graph& subgraph,
+                                const sbp::SbpConfig& base) {
+  if (subgraph.num_edges() > 0) return sbp::run(subgraph, base);
+  sbp::SbpResult identity;
+  identity.assignment.resize(
+      static_cast<std::size_t>(subgraph.num_vertices()));
+  std::iota(identity.assignment.begin(), identity.assignment.end(), 0);
+  identity.num_blocks = subgraph.num_vertices();
+  return identity;
+}
+
+/// Stage 4: bounded full-graph MCMC passes with the variant's own phase
+/// kernel, converging on the same ΔMDL window rule as the core driver.
+sbp::PhaseOutcome finetune(const Graph& graph, Blockmodel& model,
+                           const SampleConfig& config) {
+  sbp::McmcSettings settings;
+  settings.beta = config.base.beta;
+  settings.threshold = config.finetune_threshold;
+  settings.max_iterations = config.finetune_max_iterations;
+  settings.dynamic_schedule = config.base.dynamic_schedule;
+
+  // An independent deterministic stream: the sampler consumed
+  // Rng(seed), the subgraph fit consumed RngPool(seed).
+  util::SplitMix64 mix(config.base.seed);
+  mix.next();
+  util::RngPool rngs(mix.next(),
+                     static_cast<std::size_t>(
+                         std::max(1, omp_get_max_threads())));
+
+  switch (config.base.variant) {
+    case sbp::Variant::Metropolis:
+      return sbp::metropolis_hastings_phase(graph, model, settings, rngs);
+    case sbp::Variant::AsyncGibbs:
+      return sbp::async_gibbs_phase(graph, model, settings, rngs);
+    case sbp::Variant::Hybrid: {
+      const graph::DegreeSplit split = sbp::select_hybrid_vertices(
+          graph, config.base.hybrid_fraction, config.base.hybrid_selection,
+          config.base.seed);
+      return sbp::hybrid_phase(graph, model, settings, split, rngs);
+    }
+    case sbp::Variant::BatchedGibbs:
+      return sbp::batched_gibbs_phase(graph, model, settings,
+                                      config.base.batch_count, rngs);
+  }
+  throw std::logic_error("sample::run: unknown variant");
+}
+
+}  // namespace
+
+SamplePipelineResult run(const Graph& graph, const SampleConfig& config) {
+  validate(graph, config);
+  if (config.base.num_threads > 0) {
+    omp_set_num_threads(config.base.num_threads);
+  }
+
+  util::Timer total;
+  SamplePipelineResult result;
+
+  // Stage 1 — sample.
+  util::Timer stage;
+  const SampledGraph sampled = sample_graph(
+      graph, config.sampler, config.fraction, config.base.seed);
+  result.timings.sample_seconds = stage.elapsed();
+  result.sample_vertices = sampled.subgraph.num_vertices();
+  result.sample_edges = sampled.subgraph.num_edges();
+
+  // Stage 2 — partition the induced subgraph with the configured variant.
+  stage.reset();
+  result.sample_result = partition_sample(sampled.subgraph, config.base);
+  result.timings.partition_seconds = stage.elapsed();
+
+  // Stage 3 — extrapolate memberships to the unsampled remainder.
+  stage.reset();
+  ExtrapolationResult extrapolated =
+      extrapolate(graph, sampled, result.sample_result.assignment,
+                  result.sample_result.num_blocks);
+  result.timings.extrapolate_seconds = stage.elapsed();
+  result.frontier_assigned = extrapolated.frontier_assigned;
+  result.isolated_assigned = extrapolated.isolated_assigned;
+
+  Blockmodel model = std::move(extrapolated.model);
+  const double extrapolated_mdl =
+      blockmodel::mdl(model, graph.num_vertices(), graph.num_edges());
+  result.assignment = std::move(extrapolated.assignment);
+  result.num_blocks = extrapolated.num_blocks;
+  result.mdl = extrapolated_mdl;
+
+  // Stage 4 — fine-tune over the full graph; keep the better of the
+  // pre/post partitions so the stage can never lose quality (an MH pass
+  // may accept uphill moves and stop there).
+  if (config.finetune_max_iterations > 0) {
+    stage.reset();
+    const sbp::PhaseOutcome outcome = finetune(graph, model, config);
+    result.finetune = outcome.stats;
+    if (outcome.stats.final_mdl <= extrapolated_mdl) {
+      result.assignment = model.copy_assignment();
+      result.mdl = outcome.stats.final_mdl;
+    }
+    result.timings.finetune_seconds = stage.elapsed();
+  }
+
+  result.timings.total_seconds = total.elapsed();
+  HSBP_LOG_DEBUG("sample pipeline: %s frac %.2f sample V=%d E=%lld "
+                 "blocks %d mdl %.2f",
+                 sampler_name(config.sampler), config.fraction,
+                 result.sample_vertices,
+                 static_cast<long long>(result.sample_edges),
+                 result.num_blocks, result.mdl);
+  return result;
+}
+
+}  // namespace hsbp::sample

@@ -1,0 +1,85 @@
+/// \file sample_sbp.hpp
+/// \brief The SamBaS pipeline (arXiv:2108.06651) on top of sbp::run:
+///
+///   sample ──▶ partition (any sbp::Variant) ──▶ extrapolate ──▶ fine-tune
+///
+/// The expensive agglomerative fit runs only on the induced sample
+/// subgraph; memberships are extrapolated to the rest of the graph and
+/// polished by a bounded number of full-graph MCMC passes (the same
+/// phase kernels as the core algorithms). Because stage 2 takes a full
+/// SbpConfig, the pipeline composes with every variant — H-SBP or B-SBP
+/// on the sample is the paper-lineage configuration.
+///
+/// Typical use:
+/// \code
+///   hsbp::sample::SampleConfig config;
+///   config.base.variant = hsbp::sbp::Variant::Hybrid;
+///   config.fraction = 0.3;
+///   const auto result = hsbp::sample::run(graph, config);
+///   // result.assignment covers every vertex of `graph`
+///   // result.timings has the per-stage breakdown
+/// \endcode
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sample/extrapolate.hpp"
+#include "sample/samplers.hpp"
+#include "sbp/mcmc_common.hpp"
+#include "sbp/sbp.hpp"
+
+namespace hsbp::sample {
+
+struct SampleConfig {
+  /// Variant, seed, threads, β, … used for the sample fit; the seed also
+  /// drives the sampler, and β/threads the fine-tune passes.
+  sbp::SbpConfig base;
+
+  SamplerKind sampler = SamplerKind::DegreeWeighted;
+
+  /// Fraction of vertices sampled, in (0, 1]. 1.0 degenerates to a plain
+  /// full-graph fit (plus fine-tune, which can only keep or lower MDL).
+  double fraction = 0.5;
+
+  /// Upper bound on full-graph fine-tune MCMC passes (0 disables the
+  /// stage; the convergence window can stop it earlier).
+  int finetune_max_iterations = 20;
+  /// Convergence threshold t for the fine-tune pass loop.
+  double finetune_threshold = 1e-4;
+};
+
+/// Wall-clock seconds per pipeline stage (the sampling counterpart of
+/// the paper's Fig. 2 phase breakdown).
+struct StageTimings {
+  double sample_seconds = 0.0;
+  double partition_seconds = 0.0;
+  double extrapolate_seconds = 0.0;
+  double finetune_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct SamplePipelineResult {
+  /// Full-graph membership: every vertex in [0, num_blocks).
+  std::vector<std::int32_t> assignment;
+  blockmodel::BlockId num_blocks = 0;
+  double mdl = 0.0;  ///< full-graph MDL of `assignment`
+
+  StageTimings timings;
+
+  graph::Vertex sample_vertices = 0;    ///< induced subgraph size
+  graph::EdgeCount sample_edges = 0;
+  sbp::SbpResult sample_result;         ///< stage-2 fit of the subgraph
+  std::int64_t frontier_assigned = 0;   ///< extrapolated via BFS plurality
+  std::int64_t isolated_assigned = 0;   ///< extrapolated via fallback block
+  sbp::McmcPhaseStats finetune;         ///< stage-4 counters
+};
+
+/// Runs the full pipeline. Deterministic in config.base.seed (sampler,
+/// subgraph fit, and fine-tune all derive from it).
+/// \throws std::invalid_argument on an empty graph, fraction outside
+/// (0, 1], or negative finetune_max_iterations.
+SamplePipelineResult run(const graph::Graph& graph,
+                         const SampleConfig& config);
+
+}  // namespace hsbp::sample

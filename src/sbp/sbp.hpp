@@ -38,7 +38,8 @@ enum class Variant {
                  ///< a pass, bounding staleness without a serial pass
 };
 
-/// Human-readable name ("SBP", "A-SBP", "H-SBP") as used in the paper.
+/// Human-readable name ("SBP", "A-SBP", "H-SBP", "B-SBP") as used in
+/// the paper (B-SBP being the batched variant its conclusion proposes).
 const char* variant_name(Variant variant) noexcept;
 
 struct SbpConfig {

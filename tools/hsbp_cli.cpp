@@ -6,9 +6,14 @@
 ///   hsbp detect    <graph-file> [--algorithm sbp|asbp|hsbp|bsbp]
 ///                  [--weighted] [--runs K] [--out FILE]
 ///   hsbp compare   [<graph-file>] [--runs K] [generator flags]
+///   hsbp sample    [<graph-file>] [--sample-frac F]
+///                  [--sampler uniform|degree|edge|snowball]
+///                  [--finetune-iters N] [--algorithm ...] [--baseline]
+///                  [--suite synthetic|realworld --scale F --only ID]
 ///   hsbp stream    [generator flags] [--parts K] [--order edge|snowball]
 ///   hsbp dist      [generator flags] [--ranks R]
 ///                  [--partition range|roundrobin|balanced]
+///   hsbp score     <truth.tsv> <predicted.tsv>
 ///   hsbp version
 ///
 /// Each subcommand is a thin shell over the same public API the
@@ -30,6 +35,7 @@
 #include "graph/io.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/pairwise.hpp"
+#include "sample/sample_sbp.hpp"
 #include "sbp/streaming.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -43,7 +49,8 @@ constexpr const char* kVersion = "1.0.0";
 [[noreturn]] void usage(int code) {
   std::fprintf(
       stderr,
-      "usage: hsbp <generate|detect|compare|stream|dist|score|version> "
+      "usage: hsbp <generate|detect|compare|sample|stream|dist|score|"
+      "version> "
       "[flags]\n"
       "run `hsbp <command> --help` for the command's flags\n");
   std::exit(code);
@@ -200,6 +207,128 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
+int cmd_sample(const Args& args) {
+  if (args.has("help")) {
+    std::printf(
+        "hsbp sample [<graph-file>] [--sample-frac F] "
+        "[--sampler uniform|degree|edge|snowball] [--finetune-iters N] "
+        "[--algorithm sbp|asbp|hsbp|bsbp] [--baseline] [--out FILE]\n"
+        "            [--suite synthetic|realworld --scale F --only ID | "
+        "generator flags]\n");
+    return 0;
+  }
+
+  hsbp::generator::GeneratedGraph workload;
+  if (!args.positionals().empty()) {
+    workload.graph = load_graph(args.positionals().front(),
+                                args.get_bool("weighted", false));
+    workload.name = args.positionals().front();
+  } else if (args.has("suite")) {
+    const std::string suite = args.get_string("suite", "synthetic");
+    const double scale = args.get_double("scale", 0.01);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto entries =
+        suite == "realworld"
+            ? hsbp::generator::realworld_surrogate_suite(scale, seed)
+            : hsbp::generator::synthetic_suite(scale, seed);
+    const std::string only = args.get_string("only", entries.front().id);
+    bool found = false;
+    for (const auto& entry : entries) {
+      if (entry.id != only) continue;
+      workload = hsbp::generator::generate(entry);
+      found = true;
+      break;
+    }
+    if (!found) {
+      throw std::invalid_argument("no suite entry named '" + only + "'");
+    }
+  } else {
+    workload = generated_workload(args);
+  }
+
+  hsbp::sample::SampleConfig config;
+  config.base = base_config(args);
+  config.base.variant = parse_variant(args.get_string("algorithm", "hsbp"));
+  config.sampler =
+      hsbp::sample::parse_sampler(args.get_string("sampler", "degree"));
+  config.fraction = args.get_double("sample-frac", 0.5);
+  config.finetune_max_iterations =
+      static_cast<int>(args.get_int("finetune-iters", 20));
+
+  std::printf("%s: V=%d E=%lld — %s pipeline, %s sampler, frac %.2f\n",
+              workload.name.c_str(), workload.graph.num_vertices(),
+              static_cast<long long>(workload.graph.num_edges()),
+              hsbp::sbp::variant_name(config.base.variant),
+              hsbp::sample::sampler_name(config.sampler), config.fraction);
+
+  const auto result = hsbp::sample::run(workload.graph, config);
+
+  hsbp::util::Table table({"stage", "seconds", "%"});
+  const auto& t = result.timings;
+  const double total = t.total_seconds > 0.0 ? t.total_seconds : 1.0;
+  const auto stage_row = [&](const char* name, double seconds) {
+    table.row().cell(std::string(name)).cell(seconds, 3).cell(
+        100.0 * seconds / total, 1);
+  };
+  stage_row("sample", t.sample_seconds);
+  stage_row("partition", t.partition_seconds);
+  stage_row("extrapolate", t.extrapolate_seconds);
+  stage_row("finetune", t.finetune_seconds);
+  stage_row("total", t.total_seconds);
+  table.print(std::cout);
+
+  std::size_t covered = 0;
+  for (const std::int32_t block : result.assignment) {
+    if (block >= 0 && block < result.num_blocks) ++covered;
+  }
+  std::printf("coverage: %zu/%d vertices assigned "
+              "(%lld frontier, %lld isolated-fallback)\n",
+              covered, workload.graph.num_vertices(),
+              static_cast<long long>(result.frontier_assigned),
+              static_cast<long long>(result.isolated_assigned));
+  std::printf("sample: %d vertices, %lld edges; fine-tune: %lld passes, "
+              "%lld/%lld moves accepted\n",
+              result.sample_vertices,
+              static_cast<long long>(result.sample_edges),
+              static_cast<long long>(result.finetune.iterations),
+              static_cast<long long>(result.finetune.accepted),
+              static_cast<long long>(result.finetune.proposals));
+  std::printf("%d communities, MDL %.2f (norm %.4f), modularity %.4f",
+              result.num_blocks, result.mdl,
+              hsbp::metrics::normalized_mdl(result.mdl,
+                                            workload.graph.num_vertices(),
+                                            workload.graph.num_edges()),
+              hsbp::metrics::modularity(workload.graph, result.assignment));
+  if (!workload.ground_truth.empty()) {
+    std::printf(", NMI %.4f",
+                hsbp::metrics::nmi(workload.ground_truth,
+                                   result.assignment));
+  }
+  std::printf("\n");
+
+  if (args.get_bool("baseline", false)) {
+    const auto full = hsbp::sbp::run(workload.graph, config.base);
+    std::printf("baseline %s (full graph): MDL %.2f in %.3fs — pipeline "
+                "speedup %.2fx",
+                hsbp::sbp::variant_name(config.base.variant), full.mdl,
+                full.stats.total_seconds,
+                full.stats.total_seconds / total);
+    if (!workload.ground_truth.empty()) {
+      std::printf(", NMI %.4f",
+                  hsbp::metrics::nmi(workload.ground_truth,
+                                     full.assignment));
+    }
+    std::printf("\n");
+  }
+
+  if (args.has("out")) {
+    const std::string path = args.get_string("out", "");
+    hsbp::eval::save_assignment_file(result.assignment, path);
+    std::printf("assignment -> %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int cmd_stream(const Args& args) {
   if (args.has("help")) {
     std::printf(
@@ -305,6 +434,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "detect") return cmd_detect(args);
     if (command == "compare") return cmd_compare(args);
+    if (command == "sample") return cmd_sample(args);
     if (command == "stream") return cmd_stream(args);
     if (command == "dist") return cmd_dist(args);
     if (command == "score") return cmd_score(args);
