@@ -172,7 +172,7 @@ bench/CMakeFiles/ext_streaming_warmstart.dir/ext_streaming_warmstart.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/ckpt/config.hpp \
  /root/repo/src/sbp/vertex_selection.hpp /root/repo/src/graph/degree.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
  /root/repo/src/generator/dcsbm.hpp /root/repo/src/eval/report.hpp \

@@ -14,6 +14,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/blockmodel/mdl.cpp" "src/CMakeFiles/hsbp.dir/blockmodel/mdl.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/blockmodel/mdl.cpp.o.d"
   "/root/repo/src/blockmodel/merge_delta.cpp" "src/CMakeFiles/hsbp.dir/blockmodel/merge_delta.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/blockmodel/merge_delta.cpp.o.d"
   "/root/repo/src/blockmodel/vertex_move_delta.cpp" "src/CMakeFiles/hsbp.dir/blockmodel/vertex_move_delta.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/blockmodel/vertex_move_delta.cpp.o.d"
+  "/root/repo/src/ckpt/atomic_file.cpp" "src/CMakeFiles/hsbp.dir/ckpt/atomic_file.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/ckpt/atomic_file.cpp.o.d"
+  "/root/repo/src/ckpt/checkpoint.cpp" "src/CMakeFiles/hsbp.dir/ckpt/checkpoint.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/ckpt/checkpoint.cpp.o.d"
+  "/root/repo/src/ckpt/fault_injector.cpp" "src/CMakeFiles/hsbp.dir/ckpt/fault_injector.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/ckpt/fault_injector.cpp.o.d"
+  "/root/repo/src/ckpt/shutdown.cpp" "src/CMakeFiles/hsbp.dir/ckpt/shutdown.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/ckpt/shutdown.cpp.o.d"
   "/root/repo/src/dist/comm.cpp" "src/CMakeFiles/hsbp.dir/dist/comm.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/dist/comm.cpp.o.d"
   "/root/repo/src/dist/dist_sbp.cpp" "src/CMakeFiles/hsbp.dir/dist/dist_sbp.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/dist/dist_sbp.cpp.o.d"
   "/root/repo/src/dist/partition.cpp" "src/CMakeFiles/hsbp.dir/dist/partition.cpp.o" "gcc" "src/CMakeFiles/hsbp.dir/dist/partition.cpp.o.d"

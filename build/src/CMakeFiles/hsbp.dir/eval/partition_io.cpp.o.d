@@ -161,4 +161,5 @@ src/CMakeFiles/hsbp.dir/eval/partition_io.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/ckpt/atomic_file.hpp \
+ /root/repo/src/util/errors.hpp

@@ -135,12 +135,13 @@ src/CMakeFiles/hsbp.dir/eval/report.cpp.o: /root/repo/src/eval/report.cpp \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/ckpt/config.hpp \
  /root/repo/src/sbp/vertex_selection.hpp /root/repo/src/graph/degree.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
  /root/repo/src/generator/dcsbm.hpp \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/omp.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
@@ -174,11 +175,8 @@ src/CMakeFiles/hsbp.dir/eval/report.cpp.o: /root/repo/src/eval/report.cpp \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
- /usr/include/c++/12/bits/ostream.tcc \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/table.hpp
+ /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/ckpt/atomic_file.hpp \
+ /root/repo/src/util/errors.hpp /root/repo/src/util/table.hpp

@@ -74,13 +74,7 @@ src/CMakeFiles/hsbp.dir/eval/runner.cpp.o: /root/repo/src/eval/runner.cpp \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/sbp/vertex_selection.hpp /root/repo/src/graph/degree.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
- /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/ckpt/config.hpp \
  /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -141,4 +135,10 @@ src/CMakeFiles/hsbp.dir/eval/runner.cpp.o: /root/repo/src/eval/runner.cpp \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/sbp/vertex_selection.hpp /root/repo/src/graph/degree.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h

@@ -58,8 +58,8 @@ src/CMakeFiles/hsbp.dir/generator/power_law.cpp.o: \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/limits /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/array /usr/include/c++/12/limits \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \

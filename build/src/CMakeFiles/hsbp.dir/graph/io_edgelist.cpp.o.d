@@ -187,4 +187,5 @@ src/CMakeFiles/hsbp.dir/graph/io_edgelist.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/graph/graph.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/graph/io.hpp
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/graph/io.hpp \
+ /root/repo/src/util/errors.hpp

@@ -1,6 +1,7 @@
 src/CMakeFiles/hsbp.dir/util/rng.cpp.o: /root/repo/src/util/rng.cpp \
  /usr/include/stdc-predef.h /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/array /usr/include/c++/12/compare \
+ /usr/include/c++/12/concepts /usr/include/c++/12/type_traits \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -12,17 +13,6 @@ src/CMakeFiles/hsbp.dir/util/rng.cpp.o: /root/repo/src/util/rng.cpp \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
- /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
- /usr/include/x86_64-linux-gnu/bits/types.h \
- /usr/include/x86_64-linux-gnu/bits/typesizes.h \
- /usr/include/x86_64-linux-gnu/bits/time64.h \
- /usr/include/x86_64-linux-gnu/bits/wchar.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/limits /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/compare \
- /usr/include/c++/12/concepts /usr/include/c++/12/type_traits \
  /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
@@ -44,7 +34,17 @@ src/CMakeFiles/hsbp.dir/util/rng.cpp.o: /root/repo/src/util/rng.cpp \
  /usr/include/c++/12/bits/stl_construct.h \
  /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/cstdint \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
+ /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
+ /usr/include/x86_64-linux-gnu/bits/types.h \
+ /usr/include/x86_64-linux-gnu/bits/typesizes.h \
+ /usr/include/x86_64-linux-gnu/bits/time64.h \
+ /usr/include/x86_64-linux-gnu/bits/wchar.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ckpt_atomic.cpp" "tests/CMakeFiles/test_ckpt.dir/test_ckpt_atomic.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/test_ckpt_atomic.cpp.o.d"
+  "/root/repo/tests/test_ckpt_format.cpp" "tests/CMakeFiles/test_ckpt.dir/test_ckpt_format.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/test_ckpt_format.cpp.o.d"
+  "/root/repo/tests/test_ckpt_resume.cpp" "tests/CMakeFiles/test_ckpt.dir/test_ckpt_resume.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/test_ckpt_resume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hsbp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

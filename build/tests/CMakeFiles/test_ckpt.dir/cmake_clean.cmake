@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt.dir/test_ckpt_atomic.cpp.o"
+  "CMakeFiles/test_ckpt.dir/test_ckpt_atomic.cpp.o.d"
+  "CMakeFiles/test_ckpt.dir/test_ckpt_format.cpp.o"
+  "CMakeFiles/test_ckpt.dir/test_ckpt_format.cpp.o.d"
+  "CMakeFiles/test_ckpt.dir/test_ckpt_resume.cpp.o"
+  "CMakeFiles/test_ckpt.dir/test_ckpt_resume.cpp.o.d"
+  "test_ckpt"
+  "test_ckpt.pdb"
+  "test_ckpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -300,6 +300,6 @@ tests/CMakeFiles/test_dist.dir/test_dist_all.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/sbp/sbp.hpp \
  /root/repo/src/blockmodel/blockmodel.hpp \
  /root/repo/src/blockmodel/dict_transpose_matrix.hpp \
- /root/repo/src/sbp/vertex_selection.hpp /root/repo/src/graph/degree.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/generator/dcsbm.hpp \
- /root/repo/src/metrics/metrics.hpp
+ /root/repo/src/ckpt/config.hpp /root/repo/src/sbp/vertex_selection.hpp \
+ /root/repo/src/graph/degree.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/generator/dcsbm.hpp /root/repo/src/metrics/metrics.hpp

@@ -297,4 +297,4 @@ tests/CMakeFiles/test_graph.dir/test_graph_io.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
- /root/repo/src/graph/io.hpp
+ /root/repo/src/graph/io.hpp /root/repo/src/util/errors.hpp

@@ -306,7 +306,7 @@ tests/CMakeFiles/test_integration.dir/test_integration_end_to_end.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/sbp/sbp.hpp \
  /root/repo/src/blockmodel/blockmodel.hpp \
  /root/repo/src/blockmodel/dict_transpose_matrix.hpp \
- /root/repo/src/sbp/vertex_selection.hpp /root/repo/src/graph/degree.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/generator/dcsbm.hpp \
- /root/repo/src/generator/suites.hpp /root/repo/src/graph/io.hpp \
- /root/repo/src/metrics/metrics.hpp
+ /root/repo/src/ckpt/config.hpp /root/repo/src/sbp/vertex_selection.hpp \
+ /root/repo/src/graph/degree.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/generator/dcsbm.hpp /root/repo/src/generator/suites.hpp \
+ /root/repo/src/graph/io.hpp /root/repo/src/metrics/metrics.hpp

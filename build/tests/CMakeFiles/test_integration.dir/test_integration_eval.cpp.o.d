@@ -319,6 +319,6 @@ tests/CMakeFiles/test_integration.dir/test_integration_eval.cpp.o: \
  /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
  /root/repo/src/sbp/sbp.hpp /root/repo/src/blockmodel/blockmodel.hpp \
  /root/repo/src/blockmodel/dict_transpose_matrix.hpp \
- /root/repo/src/sbp/vertex_selection.hpp /root/repo/src/graph/degree.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/generator/dcsbm.hpp \
- /root/repo/src/sbp/golden_search.hpp
+ /root/repo/src/ckpt/config.hpp /root/repo/src/sbp/vertex_selection.hpp \
+ /root/repo/src/graph/degree.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/generator/dcsbm.hpp /root/repo/src/sbp/golden_search.hpp

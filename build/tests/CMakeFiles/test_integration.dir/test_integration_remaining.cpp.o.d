@@ -298,12 +298,12 @@ tests/CMakeFiles/test_integration.dir/test_integration_remaining.cpp.o: \
  /root/repo/src/blockmodel/blockmodel.hpp /usr/include/c++/12/span \
  /root/repo/src/blockmodel/dict_transpose_matrix.hpp \
  /root/repo/src/graph/graph.hpp /root/repo/src/eval/runner.hpp \
- /root/repo/src/sbp/sbp.hpp /root/repo/src/sbp/vertex_selection.hpp \
- /root/repo/src/graph/degree.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/generator/dcsbm.hpp /root/repo/src/graph/io.hpp \
- /root/repo/src/metrics/metrics.hpp /root/repo/src/sbp/mcmc_common.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/sbp/sbp.hpp /root/repo/src/ckpt/config.hpp \
+ /root/repo/src/sbp/vertex_selection.hpp /root/repo/src/graph/degree.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/generator/dcsbm.hpp \
+ /root/repo/src/graph/io.hpp /root/repo/src/metrics/metrics.hpp \
+ /root/repo/src/sbp/mcmc_common.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -299,9 +299,9 @@ tests/CMakeFiles/test_sample.dir/test_sample_pipeline.cpp.o: \
  /root/repo/src/blockmodel/blockmodel.hpp \
  /root/repo/src/blockmodel/dict_transpose_matrix.hpp \
  /root/repo/src/sample/samplers.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/sample/sample_sbp.hpp /root/repo/src/sbp/mcmc_common.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/sample/sample_sbp.hpp /root/repo/src/ckpt/config.hpp \
+ /root/repo/src/sbp/mcmc_common.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -325,4 +325,4 @@ tests/CMakeFiles/test_sbp.dir/test_sbp_batched.cpp.o: \
  /root/repo/src/blockmodel/vertex_move_delta.hpp \
  /root/repo/src/sbp/hastings.hpp /root/repo/src/sbp/proposal.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/sbp/sbp.hpp \
- /root/repo/src/sbp/vertex_selection.hpp
+ /root/repo/src/ckpt/config.hpp /root/repo/src/sbp/vertex_selection.hpp

@@ -298,5 +298,5 @@ tests/CMakeFiles/test_sbp.dir/test_sbp_streaming.cpp.o: \
  /root/repo/src/sbp/streaming.hpp /root/repo/src/sbp/sbp.hpp \
  /root/repo/src/blockmodel/blockmodel.hpp \
  /root/repo/src/blockmodel/dict_transpose_matrix.hpp \
- /root/repo/src/sbp/vertex_selection.hpp /root/repo/src/graph/degree.hpp \
- /root/repo/src/util/rng.hpp
+ /root/repo/src/ckpt/config.hpp /root/repo/src/sbp/vertex_selection.hpp \
+ /root/repo/src/graph/degree.hpp /root/repo/src/util/rng.hpp

@@ -13,3 +13,4 @@ include("/root/repo/build/tests/test_sample[1]_include.cmake")
 include("/root/repo/build/tests/test_metrics[1]_include.cmake")
 include("/root/repo/build/tests/test_dist[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_ckpt[1]_include.cmake")

@@ -182,6 +182,7 @@ tools/CMakeFiles/hsbp_cli.dir/hsbp_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
+ /root/repo/src/ckpt/config.hpp /root/repo/src/ckpt/shutdown.hpp \
  /root/repo/src/dist/dist_sbp.hpp /root/repo/src/dist/comm.hpp \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
@@ -263,4 +264,5 @@ tools/CMakeFiles/hsbp_cli.dir/hsbp_cli.cpp.o: \
  /root/repo/src/blockmodel/vertex_move_delta.hpp \
  /root/repo/src/sbp/hastings.hpp /root/repo/src/sbp/proposal.hpp \
  /root/repo/src/sbp/streaming.hpp /root/repo/src/util/args.hpp \
- /usr/include/c++/12/optional /root/repo/src/util/table.hpp
+ /usr/include/c++/12/optional /root/repo/src/util/errors.hpp \
+ /root/repo/src/util/table.hpp

@@ -1,23 +1,41 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the exact verify line from ROADMAP.md, with an
-# optional sanitizer toggle.
+# optional sanitizer toggle, followed by a sanitized pass over the
+# fault-injection/durability suite (`ctest -L fault`).
 #
 # Usage: scripts/check_tier1.sh [BUILD_DIR]
 #   HSBP_SANITIZE=address,undefined scripts/check_tier1.sh build-asan
 #
 # Environment:
-#   HSBP_SANITIZE   comma-separated sanitizer list forwarded as
-#                   -DHSBP_SANITIZE=... (empty = plain build)
+#   HSBP_SANITIZE     comma-separated sanitizer list forwarded as
+#                     -DHSBP_SANITIZE=... (empty = plain build)
+#   HSBP_SKIP_FAULT   set to 1 to skip the extra sanitized fault-test
+#                     stage (it is also skipped when HSBP_SANITIZE is
+#                     set, since the whole suite is sanitized then)
+#   HSBP_JOBS         build/test parallelism (default: nproc; a bare
+#                     `-j` spawns every job at once and thrashes small
+#                     machines)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+JOBS="${HSBP_JOBS:-$(nproc)}"
 CMAKE_FLAGS=()
 if [[ -n "${HSBP_SANITIZE:-}" ]]; then
   CMAKE_FLAGS+=("-DHSBP_SANITIZE=${HSBP_SANITIZE}")
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
-cmake --build "$BUILD_DIR" -j
-cd "$BUILD_DIR" && ctest --output-on-failure -j
+cmake --build "$BUILD_DIR" -j "$JOBS"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+# Stage 2: rebuild the fault-labelled durability tests under
+# ASan/UBSan — checkpoint/atomic-write bugs are exactly the kind that
+# only a sanitizer catches (use-after-close, torn buffers).
+if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_FAULT:-0}" != "1" ]]; then
+  FAULT_DIR="${BUILD_DIR}-fault-asan"
+  cmake -B "$FAULT_DIR" -S . -DHSBP_SANITIZE=address,undefined
+  cmake --build "$FAULT_DIR" -j "$JOBS"
+  (cd "$FAULT_DIR" && ctest --output-on-failure -j "$JOBS" -L fault)
+fi

@@ -1,0 +1,117 @@
+#include "ckpt/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/fault_injector.hpp"
+#include "util/errors.hpp"
+
+namespace hsbp::ckpt {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw util::IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// Writes all of `data` to fd, retrying short writes/EINTR.
+bool write_all(int fd, const char* data, std::size_t size) noexcept {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// entry itself is durable. Failures are ignored: some filesystems
+/// refuse O_RDONLY on directories and the data fsync already happened.
+void sync_parent_dir(const std::string& path) noexcept {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view payload,
+                       FaultInjector* fault) {
+  const std::string tmp = path + ".tmp";
+
+  std::size_t budget = payload.size();
+  auto action = FaultInjector::WriteFault::None;
+  if (fault != nullptr) action = fault->on_write(&budget);
+
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(tmp, "cannot create");
+
+  if (action == FaultInjector::WriteFault::Fail) {
+    // Injected disk failure: nothing durable happened; clean up the
+    // temp file and report — the previous `path` contents survive.
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw util::IoError("injected write failure for '" + path + "'");
+  }
+
+  const std::size_t to_write =
+      action == FaultInjector::WriteFault::Truncate
+          ? std::min(budget, payload.size())
+          : payload.size();
+
+  if (!write_all(fd, payload.data(), to_write)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(tmp, "short write to");
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(tmp, "cannot fsync");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail(tmp, "cannot close");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail(path, "cannot rename into");
+  }
+  sync_parent_dir(path);
+  // A Truncate fault models data loss *after* a durable rename (a torn
+  // write): the call succeeds, leaving a corrupt file for readers to
+  // reject — exactly what the format tests exercise.
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw util::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw util::IoError("read failure on '" + path + "'");
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace hsbp::ckpt

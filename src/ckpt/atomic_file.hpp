@@ -1,0 +1,39 @@
+/// \file atomic_file.hpp
+/// \brief Crash-safe whole-file writes: temp file → flush/fsync →
+/// rename, so a reader never observes a partially-written file under
+/// the final name.
+///
+/// Every durable artifact of the system — checkpoints, assignment
+/// files, CSV reports — goes through atomic_write_file. The protocol:
+///
+///   1. write the payload to `<path>.tmp`,
+///   2. fsync the temp file (data must be on disk before the rename
+///      makes it visible),
+///   3. std::rename onto `<path>` (atomic within a POSIX filesystem),
+///   4. best-effort fsync of the parent directory (so the rename itself
+///      survives a power cut).
+///
+/// Any failure unlinks the temp file and throws util::IoError; the
+/// previous contents of `path`, if any, are left untouched.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hsbp::ckpt {
+
+class FaultInjector;
+
+/// Atomically replaces `path` with `payload`.
+/// \param fault optional test hook (see fault_injector.hpp); a Truncate
+/// fault deliberately persists a torn prefix to exercise readers.
+/// \throws util::IoError on any OS-level failure (and on an injected
+/// write failure).
+void atomic_write_file(const std::string& path, std::string_view payload,
+                       FaultInjector* fault = nullptr);
+
+/// Reads a whole file into a string.
+/// \throws util::IoError if the file cannot be opened or read.
+std::string read_file(const std::string& path);
+
+}  // namespace hsbp::ckpt

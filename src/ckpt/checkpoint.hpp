@@ -1,0 +1,130 @@
+/// \file checkpoint.hpp
+/// \brief Versioned, CRC-checksummed snapshot format for long runs.
+///
+/// One envelope, two payload kinds:
+///
+///   ┌──────────────────────────────────────────────────────────┐
+///   │ magic "HSBPCKPT" (8)                                     │
+///   │ u32 format version · u8 kind (1=sbp-run, 2=sample-pipe)  │
+///   │ u64 payload size · payload bytes                         │
+///   │ u32 CRC-32 over everything between magic and this field  │
+///   └──────────────────────────────────────────────────────────┘
+///
+/// All integers are little-endian; doubles are their IEEE-754 bit
+/// patterns. Loaders check, in order: magic, version, kind, size,
+/// CRC, then parse with a bounds-checked reader — a corrupt,
+/// truncated, or version-mismatched file is always a util::DataError
+/// with a message saying which check failed, never a crash or silent
+/// garbage.
+///
+/// The sbp-run payload captures the complete outer-loop state: the
+/// golden-ratio bracket's three partitions with their MDLs and block
+/// counts, the accumulated counters/timings, every RNG stream's
+/// xoshiro256** state, and a graph fingerprint (V, E, degree-sequence
+/// hash) plus the (variant, seed) pair, so resuming against the wrong
+/// graph or configuration fails loudly instead of continuing a
+/// different chain.
+///
+/// The sample-pipeline payload records which SamBaS stage last
+/// completed (partition or extrapolate) with that stage's outputs; the
+/// cheap deterministic stages (sampling, fine-tune) are replayed on
+/// resume rather than stored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sbp/golden_search.hpp"
+#include "sbp/sbp.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::ckpt {
+
+class FaultInjector;
+
+/// Bump when the payload layout changes; old files are rejected with a
+/// version-mismatch diagnostic (no silent reinterpretation).
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// Identifies the graph a checkpoint belongs to. The degree-sequence
+/// hash catches same-size-different-structure swaps that (V, E) alone
+/// would miss.
+struct GraphFingerprint {
+  std::int32_t num_vertices = 0;
+  std::int64_t num_edges = 0;
+  std::uint64_t degree_hash = 0;
+
+  bool operator==(const GraphFingerprint&) const = default;
+};
+
+GraphFingerprint fingerprint(const graph::Graph& graph);
+
+/// \throws util::DataError if `saved` does not match the live graph.
+void validate_fingerprint(const GraphFingerprint& saved,
+                          const graph::Graph& graph,
+                          const std::string& path);
+
+// ------------------------------------------------------------ sbp-run
+
+/// Full outer-loop state of sbp::run at a phase boundary.
+struct SbpCheckpoint {
+  GraphFingerprint graph;
+  std::uint32_t variant = 0;  ///< static_cast of sbp::Variant
+  std::uint64_t seed = 0;
+  sbp::SbpStats stats;        ///< counters + seconds accumulated so far
+  std::vector<util::Rng::State> rng_streams;
+  sbp::GoldenSearch::State search;
+};
+
+/// Atomically writes the checkpoint (temp → fsync → rename).
+/// \throws util::IoError on write failure.
+void save_sbp_checkpoint(const std::string& path, const SbpCheckpoint& ckpt,
+                         FaultInjector* fault = nullptr);
+
+/// \throws util::IoError if unreadable, util::DataError if invalid.
+SbpCheckpoint load_sbp_checkpoint(const std::string& path);
+
+// ----------------------------------------------------- sample-pipeline
+
+/// Stage markers for SampleCheckpoint (numbered as in the SamBaS
+/// pipeline; stages 1/sample and 4/fine-tune are replayed, not stored).
+enum class SampleStage : std::uint8_t {
+  PartitionDone = 2,    ///< subgraph fit finished
+  ExtrapolateDone = 3,  ///< full-graph membership available
+};
+
+struct SampleCheckpoint {
+  GraphFingerprint graph;
+  std::uint32_t variant = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t sampler = 0;  ///< static_cast of sample::SamplerKind
+  double fraction = 0.0;
+  SampleStage stage = SampleStage::PartitionDone;
+
+  // Stage ≥ PartitionDone: the subgraph fit.
+  std::vector<std::int32_t> sample_assignment;
+  std::int32_t sample_num_blocks = 0;
+  double sample_mdl = 0.0;
+
+  // Stage ≥ ExtrapolateDone: the full-graph membership.
+  std::vector<std::int32_t> full_assignment;
+  std::int32_t full_num_blocks = 0;
+  double full_mdl = 0.0;
+  std::int64_t frontier_assigned = 0;
+  std::int64_t isolated_assigned = 0;
+};
+
+void save_sample_checkpoint(const std::string& path,
+                            const SampleCheckpoint& ckpt,
+                            FaultInjector* fault = nullptr);
+
+SampleCheckpoint load_sample_checkpoint(const std::string& path);
+
+// ------------------------------------------------------------- helpers
+
+/// CRC-32 (IEEE 802.3, reflected) — exposed for the format tests.
+std::uint32_t crc32(std::string_view data) noexcept;
+
+}  // namespace hsbp::ckpt

@@ -1,0 +1,26 @@
+#include "ckpt/fault_injector.hpp"
+
+#include <string>
+
+namespace hsbp::ckpt {
+
+FaultInjector::WriteFault FaultInjector::on_write(
+    std::size_t* truncate_bytes) noexcept {
+  ++write_count_;
+  if (write_count_ == fail_write_at_) return WriteFault::Fail;
+  if (write_count_ == truncate_at_) {
+    if (truncate_bytes != nullptr) *truncate_bytes = truncate_bytes_;
+    return WriteFault::Truncate;
+  }
+  return WriteFault::None;
+}
+
+void FaultInjector::on_phase_boundary() {
+  ++phase_count_;
+  if (phase_count_ == kill_at_) {
+    throw SimulatedKill("fault injector: simulated kill at phase boundary " +
+                        std::to_string(phase_count_));
+  }
+}
+
+}  // namespace hsbp::ckpt

@@ -1,0 +1,75 @@
+/// \file fault_injector.hpp
+/// \brief Deterministic fault injection for the checkpoint subsystem.
+///
+/// The injector is a passive hook object threaded through
+/// CheckpointConfig::fault (normally null). The durability tests arm it
+/// to reproduce, deterministically, the three failures a long run meets
+/// in practice:
+///
+///   fail_write(n)         — the nth atomic write dies before any byte
+///                           reaches its destination (disk full, EIO);
+///                           the previous checkpoint must survive.
+///   truncate_write(n, k)  — the nth atomic write persists only its
+///                           first k bytes yet still gets renamed into
+///                           place (a torn write: rename was durable,
+///                           data was not); the loader must reject it.
+///   kill_at_phase(n)      — SimulatedKill is thrown from the nth
+///                           phase/stage boundary, after that boundary's
+///                           checkpoint was written — the moral
+///                           equivalent of `kill -9` between phases.
+///
+/// Counters are 1-based and monotonically increasing across one run (or
+/// across a pipeline and its nested sbp::run, which share the injector),
+/// so "the nth write" is well-defined and reproducible.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace hsbp::ckpt {
+
+/// Thrown by FaultInjector::on_phase_boundary to simulate an abrupt
+/// process death between phases. Library code never catches it; the
+/// test harness does, then resumes from the checkpoint left behind.
+struct SimulatedKill : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class FaultInjector {
+ public:
+  /// Arm the nth (1-based) atomic write to fail cleanly.
+  void fail_write(int nth) noexcept { fail_write_at_ = nth; }
+
+  /// Arm the nth (1-based) atomic write to persist only `bytes` bytes.
+  void truncate_write(int nth, std::size_t bytes) noexcept {
+    truncate_at_ = nth;
+    truncate_bytes_ = bytes;
+  }
+
+  /// Arm a SimulatedKill at the nth (1-based) phase boundary.
+  void kill_at_phase(int nth) noexcept { kill_at_ = nth; }
+
+  /// What the atomic writer must do for this write. Each call counts
+  /// one write; when the result is Truncate, *truncate_bytes receives
+  /// the byte budget.
+  enum class WriteFault { None, Fail, Truncate };
+  WriteFault on_write(std::size_t* truncate_bytes) noexcept;
+
+  /// Called by the drivers after each outer phase (sbp) or pipeline
+  /// stage (sample), after that boundary's checkpoint was written.
+  /// \throws SimulatedKill when the armed boundary is reached.
+  void on_phase_boundary();
+
+  int writes_seen() const noexcept { return write_count_; }
+  int phases_seen() const noexcept { return phase_count_; }
+
+ private:
+  int write_count_ = 0;
+  int phase_count_ = 0;
+  int fail_write_at_ = 0;
+  int truncate_at_ = 0;
+  std::size_t truncate_bytes_ = 0;
+  int kill_at_ = 0;
+};
+
+}  // namespace hsbp::ckpt

@@ -1,0 +1,31 @@
+#include "ckpt/shutdown.hpp"
+
+#include <csignal>
+
+namespace hsbp::ckpt {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+extern "C" void handle_shutdown_signal(int signum) {
+  g_shutdown = 1;
+  // One signal asks nicely; the next one kills. Restoring the default
+  // disposition here is async-signal-safe.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() noexcept {
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+}
+
+bool shutdown_requested() noexcept { return g_shutdown != 0; }
+
+void request_shutdown() noexcept { g_shutdown = 1; }
+
+void clear_shutdown() noexcept { g_shutdown = 0; }
+
+}  // namespace hsbp::ckpt

@@ -1,0 +1,30 @@
+/// \file shutdown.hpp
+/// \brief Graceful-shutdown flag for long runs.
+///
+/// install_shutdown_handlers() routes SIGINT/SIGTERM to a
+/// sig_atomic_t flag; the drivers poll shutdown_requested() at phase
+/// and stage boundaries, finish the in-flight pass, write a final
+/// checkpoint, and return the best-so-far partition with
+/// `interrupted = true` instead of dying mid-write. A second signal
+/// restores the default disposition, so an impatient ^C ^C still kills
+/// the process.
+///
+/// request_shutdown()/clear_shutdown() drive the same flag without a
+/// real signal — the deterministic path the tests use.
+#pragma once
+
+namespace hsbp::ckpt {
+
+/// Installs SIGINT/SIGTERM handlers (idempotent).
+void install_shutdown_handlers() noexcept;
+
+/// True once a shutdown was requested by signal or request_shutdown().
+bool shutdown_requested() noexcept;
+
+/// Sets the flag as a signal would (tests, embedders).
+void request_shutdown() noexcept;
+
+/// Clears the flag (tests; call before reusing the process).
+void clear_shutdown() noexcept;
+
+}  // namespace hsbp::ckpt

@@ -2,15 +2,20 @@
 
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "ckpt/atomic_file.hpp"
+#include "util/errors.hpp"
 
 namespace hsbp::eval {
+
+using util::DataError;
+using util::IoError;
 
 namespace {
 
 [[noreturn]] void fail(std::size_t line_number, const std::string& what) {
-  throw std::runtime_error("assignment file, line " +
-                           std::to_string(line_number) + ": " + what);
+  throw DataError("assignment file, line " + std::to_string(line_number) +
+                  ": " + what);
 }
 
 }  // namespace
@@ -21,15 +26,18 @@ void save_assignment(std::span<const std::int32_t> assignment,
   for (std::size_t v = 0; v < assignment.size(); ++v) {
     out << v << '\t' << assignment[v] << '\n';
   }
+  if (!out) {
+    throw IoError("assignment write failed (stream error)");
+  }
 }
 
 void save_assignment_file(std::span<const std::int32_t> assignment,
                           const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot open '" + path + "' for writing");
-  }
-  save_assignment(assignment, out);
+  // Serialize in memory, then write atomically: a crash or full disk
+  // can never leave a partial assignment file masquerading as a result.
+  std::ostringstream buffer;
+  save_assignment(assignment, buffer);
+  ckpt::atomic_write_file(path, buffer.str());
 }
 
 std::vector<std::int32_t> load_assignment(std::istream& in) {
@@ -55,7 +63,7 @@ std::vector<std::int32_t> load_assignment(std::istream& in) {
     max_vertex = std::max(max_vertex, vertex);
   }
   if (entries.empty()) {
-    throw std::runtime_error("assignment file: no entries");
+    throw DataError("assignment file: no entries");
   }
 
   std::vector<std::int32_t> assignment(
@@ -63,15 +71,15 @@ std::vector<std::int32_t> load_assignment(std::istream& in) {
   for (const auto& [vertex, label] : entries) {
     auto& slot = assignment[static_cast<std::size_t>(vertex)];
     if (slot >= 0) {
-      throw std::runtime_error("assignment file: duplicate vertex " +
-                               std::to_string(vertex));
+      throw DataError("assignment file: duplicate vertex " +
+                      std::to_string(vertex));
     }
     slot = static_cast<std::int32_t>(label);
   }
   for (std::size_t v = 0; v < assignment.size(); ++v) {
     if (assignment[v] < 0) {
-      throw std::runtime_error("assignment file: vertex " +
-                               std::to_string(v) + " missing");
+      throw DataError("assignment file: vertex " + std::to_string(v) +
+                      " missing");
     }
   }
   return assignment;
@@ -80,7 +88,7 @@ std::vector<std::int32_t> load_assignment(std::istream& in) {
 std::vector<std::int32_t> load_assignment_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("cannot open '" + path + "' for reading");
+    throw IoError("cannot open '" + path + "' for reading");
   }
   return load_assignment(in);
 }

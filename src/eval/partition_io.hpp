@@ -18,15 +18,19 @@
 namespace hsbp::eval {
 
 /// Writes one `v\tlabel` line per vertex with a `# vertex\tcommunity`
-/// header comment.
+/// header comment. \throws util::IoError if the stream fails.
 void save_assignment(std::span<const std::int32_t> assignment,
                      std::ostream& out);
+/// The file variant writes atomically (temp → fsync → rename, see
+/// ckpt/atomic_file.hpp), so `path` never holds a torn result.
+/// \throws util::IoError on any write failure.
 void save_assignment_file(std::span<const std::int32_t> assignment,
                           const std::string& path);
 
 /// Reads an assignment. Every vertex in [0, max-id] must appear exactly
-/// once. \throws std::runtime_error (with a line number) on malformed,
-/// duplicate, missing, or negative entries.
+/// once. \throws util::DataError (a std::runtime_error, with a line
+/// number) on malformed, duplicate, missing, or negative entries;
+/// util::IoError if the file cannot be opened.
 std::vector<std::int32_t> load_assignment(std::istream& in);
 std::vector<std::int32_t> load_assignment_file(const std::string& path);
 

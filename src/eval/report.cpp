@@ -2,11 +2,12 @@
 
 #include <omp.h>
 
-#include <fstream>
 #include <map>
 #include <ostream>
-#include <stdexcept>
+#include <sstream>
 
+#include "ckpt/atomic_file.hpp"
+#include "util/errors.hpp"
 #include "util/table.hpp"
 
 namespace hsbp::eval {
@@ -125,15 +126,18 @@ void write_rows_csv(const std::vector<ExperimentRow>& rows,
         << row.total_seconds << ',' << row.mcmc_iterations << ','
         << row.parallel_update_fraction << '\n';
   }
+  if (!out) {
+    throw util::IoError("CSV write failed (stream error)");
+  }
 }
 
 void write_rows_csv_file(const std::vector<ExperimentRow>& rows,
                          const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot open '" + path + "' for writing");
-  }
-  write_rows_csv(rows, out);
+  // Serialize in memory, then write atomically — a partial or empty
+  // CSV can never be mistaken for a completed report.
+  std::ostringstream buffer;
+  write_rows_csv(rows, buffer);
+  ckpt::atomic_write_file(path, buffer.str());
 }
 
 }  // namespace hsbp::eval

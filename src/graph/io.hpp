@@ -7,8 +7,9 @@
 ///   - Matrix Market coordinate format — the SuiteSparse Matrix
 ///     Collection format used for the paper's 14 real-world graphs.
 ///
-/// All readers throw std::runtime_error with a line number on malformed
-/// input; they never silently drop data.
+/// All readers throw util::DataError (a std::runtime_error) with a line
+/// number on malformed input; they never silently drop data. File
+/// variants throw util::IoError when the file cannot be opened.
 #pragma once
 
 #include <iosfwd>

@@ -1,30 +1,30 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
+#include "util/errors.hpp"
 
 namespace hsbp::graph {
 
 namespace {
 
 [[noreturn]] void fail(std::size_t line_number, const std::string& what) {
-  throw std::runtime_error("edge list, line " + std::to_string(line_number) +
-                           ": " + what);
+  throw util::DataError("edge list, line " + std::to_string(line_number) +
+                        ": " + what);
 }
 
 std::ifstream open_for_read(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open '" + path + "' for reading");
+  if (!in) throw util::IoError("cannot open '" + path + "' for reading");
   return in;
 }
 
 std::ofstream open_for_write(const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  if (!out) throw util::IoError("cannot open '" + path + "' for writing");
   return out;
 }
 

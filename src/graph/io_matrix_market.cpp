@@ -2,20 +2,20 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
+#include "util/errors.hpp"
 
 namespace hsbp::graph {
 
 namespace {
 
 [[noreturn]] void fail(std::size_t line_number, const std::string& what) {
-  throw std::runtime_error("Matrix Market, line " +
-                           std::to_string(line_number) + ": " + what);
+  throw util::DataError("Matrix Market, line " +
+                        std::to_string(line_number) + ": " + what);
 }
 
 std::string to_lower(std::string text) {
@@ -131,7 +131,7 @@ Graph read_matrix_market(std::istream& in, WeightHandling weights) {
 Graph read_matrix_market_file(const std::string& path,
                               WeightHandling weights) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open '" + path + "' for reading");
+  if (!in) throw util::IoError("cannot open '" + path + "' for reading");
   return read_matrix_market(in, weights);
 }
 
@@ -149,7 +149,7 @@ void write_matrix_market(const Graph& graph, std::ostream& out) {
 
 void write_matrix_market_file(const Graph& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  if (!out) throw util::IoError("cannot open '" + path + "' for writing");
   write_matrix_market(graph, out);
 }
 

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/config.hpp"
 #include "sample/extrapolate.hpp"
 #include "sample/samplers.hpp"
 #include "sbp/mcmc_common.hpp"
@@ -73,6 +74,10 @@ struct SamplePipelineResult {
   std::int64_t frontier_assigned = 0;   ///< extrapolated via BFS plurality
   std::int64_t isolated_assigned = 0;   ///< extrapolated via fallback block
   sbp::McmcPhaseStats finetune;         ///< stage-4 counters
+  /// True when a graceful shutdown cut the pipeline short; `assignment`
+  /// is still a full-graph partition (extrapolated from the best
+  /// sample fit so far) and the on-disk checkpoint is resumable.
+  bool interrupted = false;
 };
 
 /// Runs the full pipeline. Deterministic in config.base.seed (sampler,
@@ -81,5 +86,18 @@ struct SamplePipelineResult {
 /// (0, 1], or negative finetune_max_iterations.
 SamplePipelineResult run(const graph::Graph& graph,
                          const SampleConfig& config);
+
+/// Same, with durability: the pipeline checkpoints between its stages —
+/// the expensive subgraph fit checkpoints its own outer loop to
+/// `save_path + ".stage2"`, and completed stages persist their outputs
+/// to `save_path` — so a late-stage failure no longer throws away the
+/// earlier stages. The cheap deterministic stages (sampling, fine-tune)
+/// are replayed on resume rather than stored; a killed-and-resumed
+/// seeded pipeline reproduces the uninterrupted result exactly.
+/// \throws util::IoError / util::DataError as sbp::run's checkpointing
+/// overload does.
+SamplePipelineResult run(const graph::Graph& graph,
+                         const SampleConfig& config,
+                         const ckpt::CheckpointConfig& checkpoint);
 
 }  // namespace hsbp::sample

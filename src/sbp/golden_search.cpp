@@ -31,6 +31,21 @@ GoldenSearch::GoldenSearch(Snapshot initial, double reduction_rate)
   }
 }
 
+GoldenSearch::GoldenSearch(State state, double reduction_rate)
+    : reduction_rate_(reduction_rate),
+      upper_(std::move(state.upper)),
+      mid_(std::move(state.mid)),
+      lower_(std::move(state.lower)),
+      have_mid_(state.have_mid),
+      have_lower_(state.have_lower),
+      done_(state.done) {
+  assert(reduction_rate_ > 0.0 && reduction_rate_ < 1.0);
+}
+
+GoldenSearch::State GoldenSearch::export_state() const {
+  return {upper_, mid_, lower_, have_mid_, have_lower_, done_};
+}
+
 GoldenSearch::Probe GoldenSearch::next_probe() const {
   assert(!done_);
   if (!have_mid_) {

@@ -33,10 +33,29 @@ struct Snapshot {
 
 class GoldenSearch {
  public:
+  /// The complete search state — the three bracket snapshots plus the
+  /// regime flags — as captured by (and restored from) checkpoints.
+  /// Unset snapshots are represented with num_blocks == 0 and an empty
+  /// assignment.
+  struct State {
+    Snapshot upper;
+    Snapshot mid;
+    Snapshot lower;
+    bool have_mid = false;
+    bool have_lower = false;
+    bool done = false;
+  };
+
   /// \param initial an evaluated starting partition (normally the
   /// identity partition with its MDL); it seeds the upper bracket end.
   /// \param reduction_rate fraction of blocks removed per descent step.
   GoldenSearch(Snapshot initial, double reduction_rate);
+
+  /// Resumes a search from an exported state (checkpoint restore).
+  GoldenSearch(State state, double reduction_rate);
+
+  /// Exports the full search state for checkpointing.
+  State export_state() const;
 
   /// True once the bracket has closed (or the descent bottomed out at
   /// one block); best() is then the answer.

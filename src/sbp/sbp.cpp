@@ -4,13 +4,19 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
+#include <utility>
 
 #include "blockmodel/mdl.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/fault_injector.hpp"
+#include "ckpt/shutdown.hpp"
 #include "graph/degree.hpp"
 #include "sbp/block_merge.hpp"
 #include "sbp/golden_search.hpp"
 #include "sbp/mcmc_phases.hpp"
+#include "util/errors.hpp"
 #include "util/logger.hpp"
 #include "util/timer.hpp"
 
@@ -79,16 +85,42 @@ PhaseOutcome run_mcmc_phase(const Graph& graph, Blockmodel& b,
   throw std::logic_error("sbp::run: unknown variant");
 }
 
+/// Evaluated cold-start partition: every vertex in its own block.
+Snapshot cold_initial(const Graph& graph) {
+  Blockmodel identity = Blockmodel::identity(graph);
+  return Snapshot{identity.copy_assignment(), identity.num_blocks(),
+                  blockmodel::mdl(identity, graph.num_vertices(),
+                                  graph.num_edges())};
+}
+
 /// The shared core of run()/run_warm(): golden-section search from an
-/// arbitrary evaluated starting partition.
+/// arbitrary search state (cold, warm, or checkpoint-resumed).
+///
+/// Checkpoint discipline: a snapshot is written only at phase
+/// boundaries — after search.record(), before the next probe — so the
+/// saved (bracket, RNG streams, counters) triple is exactly the state
+/// the next phase would read. Resuming therefore replays the identical
+/// chain: killed-and-resumed equals uninterrupted, bit for bit.
 SbpResult run_impl(const Graph& graph, const SbpConfig& config,
-                   Snapshot initial) {
+                   GoldenSearch search, const SbpStats& resumed_stats,
+                   std::span<const util::Rng::State> rng_states,
+                   const ckpt::CheckpointConfig& ck) {
   if (config.num_threads > 0) omp_set_num_threads(config.num_threads);
 
   util::Timer total_timer;
   util::RngPool rngs(config.seed,
                      static_cast<std::size_t>(
                          std::max(1, omp_get_max_threads())));
+  if (!rng_states.empty()) {
+    if (rng_states.size() != rngs.size()) {
+      throw util::DataError(
+          "checkpoint holds " + std::to_string(rng_states.size()) +
+          " RNG streams but this run has " + std::to_string(rngs.size()) +
+          " — resume with the same thread budget (--threads) as the "
+          "checkpointed run");
+    }
+    rngs.restore_states(rng_states);
+  }
 
   graph::DegreeSplit split;
   if (config.variant == Variant::Hybrid) {
@@ -98,11 +130,33 @@ SbpResult run_impl(const Graph& graph, const SbpConfig& config,
 
   SbpResult result;
   SbpStats& stats = result.stats;
-
-  GoldenSearch search(std::move(initial), config.block_reduction_rate);
+  stats = resumed_stats;
+  const SbpStats base = resumed_stats;  // prior run's seconds offsets
 
   util::Stopwatch merge_watch;
   util::Stopwatch mcmc_watch;
+
+  const auto accumulate_seconds = [&](SbpStats& into) {
+    into.block_merge_seconds =
+        base.block_merge_seconds + merge_watch.total();
+    into.mcmc_seconds = base.mcmc_seconds + mcmc_watch.total();
+    into.total_seconds = base.total_seconds + total_timer.elapsed();
+  };
+
+  const auto write_checkpoint = [&]() {
+    ckpt::SbpCheckpoint snapshot;
+    snapshot.graph = ckpt::fingerprint(graph);
+    snapshot.variant = static_cast<std::uint32_t>(config.variant);
+    snapshot.seed = config.seed;
+    snapshot.stats = stats;
+    accumulate_seconds(snapshot.stats);
+    snapshot.rng_streams = rngs.export_states();
+    snapshot.search = search.export_state();
+    ckpt::save_sbp_checkpoint(ck.save_path, snapshot, ck.fault);
+  };
+
+  // Does save_path already hold the state after the latest record()?
+  bool checkpoint_fresh = true;
 
   while (!search.done() &&
          stats.outer_iterations < config.max_outer_iterations) {
@@ -146,28 +200,76 @@ SbpResult run_impl(const Graph& graph, const SbpConfig& config,
 
     search.record(Snapshot{b.copy_assignment(), b.num_blocks(),
                            phase.stats.final_mdl});
+    checkpoint_fresh = false;
+
+    if (!ck.save_path.empty()) {
+      const bool at_interval =
+          ck.every_phases > 0 &&
+          stats.outer_iterations % ck.every_phases == 0;
+      if (at_interval || search.done()) {
+        write_checkpoint();
+        checkpoint_fresh = true;
+      }
+    }
+    if (ck.fault != nullptr) ck.fault->on_phase_boundary();
+    if (ckpt::shutdown_requested()) {
+      // Graceful shutdown: the in-flight pass finished above; persist
+      // the boundary state and hand back the best-so-far partition.
+      if (!ck.save_path.empty() && !checkpoint_fresh) {
+        write_checkpoint();
+        checkpoint_fresh = true;
+      }
+      result.interrupted = true;
+      break;
+    }
   }
+
+  // A run that stopped on the outer-iteration cap between intervals
+  // still leaves a resumable snapshot behind.
+  if (!ck.save_path.empty() && !checkpoint_fresh) write_checkpoint();
 
   const Snapshot& best = search.best();
   result.assignment = best.assignment;
   result.num_blocks = best.num_blocks;
   result.mdl = best.mdl;
-  stats.block_merge_seconds = merge_watch.total();
-  stats.mcmc_seconds = mcmc_watch.total();
-  stats.total_seconds = total_timer.elapsed();
+  accumulate_seconds(stats);
   return result;
 }
 
 }  // namespace
 
 SbpResult run(const Graph& graph, const SbpConfig& config) {
+  return run(graph, config, ckpt::CheckpointConfig{});
+}
+
+SbpResult run(const Graph& graph, const SbpConfig& config,
+              const ckpt::CheckpointConfig& checkpoint) {
   validate(graph, config);
-  // Cold start: the identity partition.
-  Blockmodel identity = Blockmodel::identity(graph);
-  Snapshot initial{identity.copy_assignment(), identity.num_blocks(),
-                   blockmodel::mdl(identity, graph.num_vertices(),
-                                   graph.num_edges())};
-  return run_impl(graph, config, std::move(initial));
+  if (!checkpoint.resume_path.empty()) {
+    ckpt::SbpCheckpoint loaded =
+        ckpt::load_sbp_checkpoint(checkpoint.resume_path);
+    ckpt::validate_fingerprint(loaded.graph, graph,
+                               checkpoint.resume_path);
+    if (loaded.variant != static_cast<std::uint32_t>(config.variant) ||
+        loaded.seed != config.seed) {
+      throw util::DataError(
+          "checkpoint '" + checkpoint.resume_path +
+          "' was written with variant=" + std::to_string(loaded.variant) +
+          " seed=" + std::to_string(loaded.seed) +
+          ", this run is configured with variant=" +
+          std::to_string(static_cast<std::uint32_t>(config.variant)) +
+          " (" + variant_name(config.variant) + ") seed=" +
+          std::to_string(config.seed) +
+          " — resuming a different chain would produce garbage");
+    }
+    GoldenSearch search(std::move(loaded.search),
+                        config.block_reduction_rate);
+    return run_impl(graph, config, std::move(search), loaded.stats,
+                    loaded.rng_streams, checkpoint);
+  }
+  GoldenSearch search(cold_initial(graph), config.block_reduction_rate);
+  return run_impl(graph, config, std::move(search), SbpStats{}, {},
+                  checkpoint);
 }
 
 SbpResult run_warm(const Graph& graph, const SbpConfig& config,
@@ -180,7 +282,9 @@ SbpResult run_warm(const Graph& graph, const SbpConfig& config,
   Snapshot initial{warm.copy_assignment(), warm.num_blocks(),
                    blockmodel::mdl(warm, graph.num_vertices(),
                                    graph.num_edges())};
-  return run_impl(graph, config, std::move(initial));
+  GoldenSearch search(std::move(initial), config.block_reduction_rate);
+  return run_impl(graph, config, std::move(search), SbpStats{}, {},
+                  ckpt::CheckpointConfig{});
 }
 
 }  // namespace hsbp::sbp

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "blockmodel/blockmodel.hpp"
+#include "ckpt/config.hpp"
 #include "graph/graph.hpp"
 #include "sbp/vertex_selection.hpp"
 
@@ -112,11 +113,28 @@ struct SbpResult {
   blockmodel::BlockId num_blocks = 0;    ///< communities found
   double mdl = 0.0;                      ///< description length achieved
   SbpStats stats;
+  /// True when a graceful shutdown (SIGINT/SIGTERM) cut the search
+  /// short: `assignment`/`mdl` are the best-so-far partition and, if a
+  /// checkpoint path was configured, a resumable snapshot was written.
+  bool interrupted = false;
 };
 
 /// Runs the configured SBP variant to completion (golden-section search
 /// over the number of communities until the bracket closes).
 /// \throws std::invalid_argument on an empty graph or bad config values.
 SbpResult run(const graph::Graph& graph, const SbpConfig& config);
+
+/// Same, with durability: writes a versioned CRC-checksummed snapshot
+/// of the full outer-loop state (golden bracket, RNG streams, counters)
+/// to `checkpoint.save_path` every `checkpoint.every_phases` phases and
+/// on graceful shutdown, and/or resumes from `checkpoint.resume_path`.
+/// A resumed seeded run continues the exact chain: killed-and-resumed
+/// equals uninterrupted, assignment and MDL alike (given the same
+/// thread budget).
+/// \throws util::IoError on checkpoint write/read failure and
+/// util::DataError on a corrupt, truncated, version-mismatched, or
+/// wrong-graph/wrong-config snapshot.
+SbpResult run(const graph::Graph& graph, const SbpConfig& config,
+              const ckpt::CheckpointConfig& checkpoint);
 
 }  // namespace hsbp::sbp

@@ -1,0 +1,30 @@
+/// \file errors.hpp
+/// \brief Error taxonomy shared by the I/O layers and the CLI.
+///
+/// Both types derive from std::runtime_error so existing call sites that
+/// catch the base class keep working; the CLI maps them onto the BSD
+/// sysexits codes it documents (DataError → 65 EX_DATAERR, IoError → 74
+/// EX_IOERR). The split is by *blame*: DataError means the bytes we read
+/// are malformed (a parse error, a failed checksum, a fingerprint
+/// mismatch); IoError means the operating system failed us (open, write,
+/// fsync, rename).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hsbp::util {
+
+/// Malformed input data: parse errors, corrupt/truncated/mismatched
+/// checkpoint or assignment files. The message says what and where.
+struct DataError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Operating-system-level I/O failure: cannot open, short write, failed
+/// flush/fsync/rename. The message includes the path involved.
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace hsbp::util

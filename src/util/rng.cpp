@@ -50,6 +50,20 @@ RngPool::RngPool(std::uint64_t seed, std::size_t streams) {
   }
 }
 
+std::vector<Rng::State> RngPool::export_states() const {
+  std::vector<Rng::State> states;
+  states.reserve(streams_.size());
+  for (const Rng& rng : streams_) states.push_back(rng.state());
+  return states;
+}
+
+void RngPool::restore_states(std::span<const Rng::State> states) {
+  assert(states.size() == streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    streams_[i].set_state(states[i]);
+  }
+}
+
 Rng& RngPool::local() noexcept {
   const auto tid = static_cast<std::size_t>(omp_get_thread_num());
   assert(tid < streams_.size());

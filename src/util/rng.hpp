@@ -9,6 +9,7 @@
 ///   - fast unbiased bounded integers via Lemire's multiply-shift trick.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -39,6 +40,10 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  /// The full generator state (four 64-bit words) — exported into
+  /// checkpoints so a resumed run continues the exact same stream.
+  using State = std::array<std::uint64_t, 4>;
+
   /// Seeds the four state words through SplitMix64 so that any 64-bit
   /// seed (including 0) produces a well-mixed state.
   explicit Rng(std::uint64_t seed = 0x9d2c5680u) noexcept { reseed(seed); }
@@ -46,6 +51,13 @@ class Rng {
   void reseed(std::uint64_t seed) noexcept {
     SplitMix64 sm(seed);
     for (auto& word : state_) word = sm.next();
+  }
+
+  State state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const State& state) noexcept {
+    for (std::size_t i = 0; i < state.size(); ++i) state_[i] = state[i];
   }
 
   /// UniformRandomBitGenerator interface (usable with <random> adaptors).
@@ -116,6 +128,14 @@ class RngPool {
   Rng& stream(std::size_t index) noexcept { return streams_[index]; }
 
   std::size_t size() const noexcept { return streams_.size(); }
+
+  /// All stream states, in index order (checkpoint export).
+  std::vector<Rng::State> export_states() const;
+
+  /// Restores a previously exported set of stream states.
+  /// \pre states.size() == size() — a resumed run must be configured
+  /// with the same number of streams (i.e. the same thread budget).
+  void restore_states(std::span<const Rng::State> states);
 
  private:
   std::vector<Rng> streams_;

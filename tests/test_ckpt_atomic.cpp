@@ -1,0 +1,155 @@
+// Atomic-write protocol, fault injector mechanics, graceful-shutdown
+// flag, and the hardened result writers built on top of them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/atomic_file.hpp"
+#include "ckpt/fault_injector.hpp"
+#include "ckpt/shutdown.hpp"
+#include "eval/experiment.hpp"
+#include "eval/partition_io.hpp"
+#include "eval/report.hpp"
+#include "util/errors.hpp"
+
+namespace hsbp::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+TEST(AtomicFile, RoundTripLeavesNoTempFile) {
+  const std::string path = temp_path("atomic_roundtrip.bin");
+  atomic_write_file(path, "payload bytes\x00with nul");
+  EXPECT_EQ(read_file(path), std::string("payload bytes\x00with nul"));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove(path);
+}
+
+TEST(AtomicFile, ReplacesExistingContents) {
+  const std::string path = temp_path("atomic_replace.bin");
+  atomic_write_file(path, "first");
+  atomic_write_file(path, "second, longer than the first");
+  EXPECT_EQ(read_file(path), "second, longer than the first");
+  fs::remove(path);
+}
+
+TEST(AtomicFile, InjectedFailureLeavesOriginalIntact) {
+  const std::string path = temp_path("atomic_fail.bin");
+  atomic_write_file(path, "previous checkpoint");
+
+  FaultInjector fault;
+  fault.fail_write(1);
+  EXPECT_THROW(atomic_write_file(path, "doomed", &fault), util::IoError);
+
+  // The failed write must not have touched the destination or left a
+  // temp file behind.
+  EXPECT_EQ(read_file(path), "previous checkpoint");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(fault.writes_seen(), 1);
+  fs::remove(path);
+}
+
+TEST(AtomicFile, InjectedTruncationPersistsTornPrefix) {
+  const std::string path = temp_path("atomic_truncate.bin");
+  FaultInjector fault;
+  fault.truncate_write(1, 4);
+  atomic_write_file(path, "0123456789", &fault);
+  // The torn write renamed only a prefix into place — the reader side
+  // (checkpoint loader) is responsible for rejecting it.
+  EXPECT_EQ(read_file(path), "0123");
+  fs::remove(path);
+}
+
+TEST(AtomicFile, FaultCountersAreOneBasedAndSequential) {
+  const std::string path = temp_path("atomic_nth.bin");
+  FaultInjector fault;
+  fault.fail_write(2);
+  atomic_write_file(path, "one", &fault);  // write 1 succeeds
+  EXPECT_THROW(atomic_write_file(path, "two", &fault), util::IoError);
+  atomic_write_file(path, "three", &fault);  // write 3 succeeds again
+  EXPECT_EQ(read_file(path), "three");
+  EXPECT_EQ(fault.writes_seen(), 3);
+  fs::remove(path);
+}
+
+TEST(AtomicFile, UnwritableDirectoryThrowsIoError) {
+  EXPECT_THROW(
+      atomic_write_file("/nonexistent-hsbp-dir/out.bin", "payload"),
+      util::IoError);
+}
+
+TEST(AtomicFile, ReadMissingFileThrowsIoError) {
+  EXPECT_THROW(read_file(temp_path("does_not_exist.bin")), util::IoError);
+}
+
+TEST(FaultInjector, KillFiresAtArmedPhaseBoundaryOnly) {
+  FaultInjector fault;
+  fault.kill_at_phase(3);
+  EXPECT_NO_THROW(fault.on_phase_boundary());
+  EXPECT_NO_THROW(fault.on_phase_boundary());
+  EXPECT_THROW(fault.on_phase_boundary(), SimulatedKill);
+  EXPECT_EQ(fault.phases_seen(), 3);
+  // Past the armed boundary, later phases proceed normally.
+  EXPECT_NO_THROW(fault.on_phase_boundary());
+}
+
+TEST(Shutdown, FlagRoundTrip) {
+  clear_shutdown();
+  EXPECT_FALSE(shutdown_requested());
+  request_shutdown();
+  EXPECT_TRUE(shutdown_requested());
+  clear_shutdown();
+  EXPECT_FALSE(shutdown_requested());
+}
+
+TEST(ResultWriters, AssignmentFileIsAtomicAndRoundTrips) {
+  const std::string path = temp_path("assignment.tsv");
+  const std::vector<std::int32_t> assignment = {0, 1, 1, 2, 0};
+  eval::save_assignment_file(assignment, path);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(eval::load_assignment_file(path), assignment);
+  fs::remove(path);
+}
+
+TEST(ResultWriters, AssignmentStreamFailureThrowsIoError) {
+  std::ofstream out("/nonexistent-hsbp-dir/assignment.tsv");
+  const std::vector<std::int32_t> assignment = {0, 1};
+  EXPECT_THROW(eval::save_assignment(assignment, out), util::IoError);
+}
+
+TEST(ResultWriters, AssignmentFileToUnwritablePathThrowsIoError) {
+  const std::vector<std::int32_t> assignment = {0, 1};
+  EXPECT_THROW(eval::save_assignment_file(assignment,
+                                          "/nonexistent-hsbp-dir/a.tsv"),
+               util::IoError);
+}
+
+TEST(ResultWriters, CsvFileIsAtomicAndComplete) {
+  const std::string path = temp_path("rows.csv");
+  eval::ExperimentRow row;
+  row.graph_id = "toy";
+  row.algorithm = "H-SBP";
+  eval::write_rows_csv_file({row}, path);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  const std::string csv = read_file(path);
+  EXPECT_NE(csv.find("graph,algorithm"), std::string::npos);
+  EXPECT_NE(csv.find("toy,H-SBP"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(ResultWriters, CsvFileToUnwritablePathThrowsIoError) {
+  EXPECT_THROW(
+      eval::write_rows_csv_file({}, "/nonexistent-hsbp-dir/rows.csv"),
+      util::IoError);
+}
+
+}  // namespace
+}  // namespace hsbp::ckpt

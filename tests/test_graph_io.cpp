@@ -6,6 +6,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
+#include "util/errors.hpp"
 
 namespace hsbp::graph {
 namespace {
@@ -56,6 +57,24 @@ TEST(EdgeListIo, ErrorMentionsLineNumber) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
   }
+}
+
+// The io.hpp contract: malformed input is util::DataError carrying the
+// offending line number; unopenable files are util::IoError.
+TEST(EdgeListIo, MalformedInputIsDataErrorWithLineNumber) {
+  std::istringstream in("# header\n0 1\n\n0 -7\n");
+  try {
+    read_edge_list(in);
+    FAIL() << "expected util::DataError";
+  } catch (const util::DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EdgeListIo, MissingFileIsIoError) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path.tsv"),
+               util::IoError);
 }
 
 TEST(EdgeListIo, RoundTripPreservesEdges) {
@@ -175,6 +194,24 @@ TEST(MatrixMarketIo, CaseInsensitiveHeader) {
       "%%MatrixMarket MATRIX Coordinate Pattern General\n"
       "2 2 1\n1 2\n");
   EXPECT_EQ(read_matrix_market(in).num_edges(), 1);
+}
+
+TEST(MatrixMarketIo, MalformedEntryIsDataErrorWithLineNumber) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n1 2\n9 9\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected util::DataError";
+  } catch (const util::DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MatrixMarketIo, MissingFileIsIoError) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"),
+               util::IoError);
 }
 
 }  // namespace

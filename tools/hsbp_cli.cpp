@@ -5,16 +5,37 @@
 ///   hsbp generate  --suite synthetic|realworld|both --scale F --outdir D
 ///   hsbp detect    <graph-file> [--algorithm sbp|asbp|hsbp|bsbp]
 ///                  [--weighted] [--runs K] [--out FILE]
+///                  [--checkpoint FILE] [--checkpoint-every N]
+///                  [--resume FILE]
 ///   hsbp compare   [<graph-file>] [--runs K] [generator flags]
 ///   hsbp sample    [<graph-file>] [--sample-frac F]
 ///                  [--sampler uniform|degree|edge|snowball]
 ///                  [--finetune-iters N] [--algorithm ...] [--baseline]
 ///                  [--suite synthetic|realworld --scale F --only ID]
+///                  [--checkpoint FILE] [--checkpoint-every N]
+///                  [--resume FILE]
 ///   hsbp stream    [generator flags] [--parts K] [--order edge|snowball]
 ///   hsbp dist      [generator flags] [--ranks R]
 ///                  [--partition range|roundrobin|balanced]
 ///   hsbp score     <truth.tsv> <predicted.tsv>
 ///   hsbp version
+///
+/// Checkpointing (`detect`, `sample`): `--checkpoint FILE` snapshots
+/// the run to FILE (atomically) every `--checkpoint-every N` outer
+/// phases and on SIGINT/SIGTERM, which finish the in-flight phase,
+/// checkpoint, and exit with the best-so-far partition. `--resume FILE`
+/// continues a saved run; the graph, algorithm, and seed must match the
+/// checkpoint exactly, and a resumed run reproduces the uninterrupted
+/// one bit-for-bit when `--threads` also matches.
+///
+/// Exit codes (sysexits.h conventions, all diagnostics on stderr):
+///    0  success
+///   64  usage error (bad flags, unknown command, bad flag value)
+///   65  malformed input data (graph/assignment/checkpoint rejected)
+///   70  internal error (unexpected exception)
+///   74  I/O failure (cannot open/write a file)
+///   75  run interrupted by SIGINT/SIGTERM but state checkpointed —
+///       rerun with --resume to continue
 ///
 /// Each subcommand is a thin shell over the same public API the
 /// examples demonstrate; `hsbp <cmd> --help` lists the flags.
@@ -26,6 +47,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "ckpt/config.hpp"
+#include "ckpt/shutdown.hpp"
 #include "dist/dist_sbp.hpp"
 #include "eval/experiment.hpp"
 #include "eval/partition_io.hpp"
@@ -38,6 +61,7 @@
 #include "sample/sample_sbp.hpp"
 #include "sbp/streaming.hpp"
 #include "util/args.hpp"
+#include "util/errors.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -45,6 +69,13 @@ namespace {
 using hsbp::util::Args;
 
 constexpr const char* kVersion = "1.0.0";
+
+// Exit codes, following sysexits.h (see the file docblock).
+constexpr int kExitUsage = 64;
+constexpr int kExitData = 65;
+constexpr int kExitInternal = 70;
+constexpr int kExitIo = 74;
+constexpr int kExitInterrupted = 75;
 
 [[noreturn]] void usage(int code) {
   std::fprintf(
@@ -97,6 +128,32 @@ hsbp::sbp::SbpConfig base_config(const Args& args) {
   return config;
 }
 
+/// Builds the checkpoint config from `--checkpoint`, `--checkpoint-every`,
+/// and `--resume`; `--resume` alone keeps checkpointing to the same file
+/// so a chain of interruptions stays resumable. Installs the SIGINT/
+/// SIGTERM handlers whenever checkpointing is on.
+hsbp::ckpt::CheckpointConfig checkpoint_config(const Args& args) {
+  hsbp::ckpt::CheckpointConfig ck;
+  ck.save_path = args.get_string("checkpoint", "");
+  ck.resume_path = args.get_string("resume", "");
+  if (ck.save_path.empty()) ck.save_path = ck.resume_path;
+  ck.every_phases = static_cast<int>(args.get_int("checkpoint-every", 1));
+  if (ck.every_phases < 1) {
+    throw std::invalid_argument("--checkpoint-every must be >= 1");
+  }
+  if (ck.enabled()) hsbp::ckpt::install_shutdown_handlers();
+  return ck;
+}
+
+/// Reports an interrupted-but-checkpointed run and yields exit code 75.
+int report_interrupted(const std::string& save_path) {
+  std::fprintf(stderr,
+               "interrupted: state saved to '%s'; rerun with --resume %s "
+               "to continue\n",
+               save_path.c_str(), save_path.c_str());
+  return kExitInterrupted;
+}
+
 int cmd_generate(const Args& args) {
   if (args.has("help")) {
     std::printf(
@@ -144,8 +201,10 @@ int cmd_detect(const Args& args) {
   if (args.has("help") || args.positionals().empty()) {
     std::printf(
         "hsbp detect <graph-file> [--algorithm sbp|asbp|hsbp|bsbp] "
-        "[--weighted] [--runs K] [--seed S] [--threads T] [--out FILE]\n");
-    return args.has("help") ? 0 : 2;
+        "[--weighted] [--runs K] [--seed S] [--threads T] [--out FILE]\n"
+        "            [--checkpoint FILE] [--checkpoint-every N] "
+        "[--resume FILE]\n");
+    return args.has("help") ? 0 : kExitUsage;
   }
   const auto graph = load_graph(args.positionals().front(),
                                 args.get_bool("weighted", false));
@@ -155,23 +214,38 @@ int cmd_detect(const Args& args) {
 
   hsbp::sbp::SbpConfig config = base_config(args);
   config.variant = parse_variant(args.get_string("algorithm", "hsbp"));
-  const int runs = static_cast<int>(args.get_int("runs", 5));
-  const auto outcome = hsbp::eval::best_of(graph, config, runs);
+  const auto ck = checkpoint_config(args);
+
+  hsbp::sbp::SbpResult best;
+  int runs = static_cast<int>(args.get_int("runs", 5));
+  if (ck.enabled()) {
+    // A checkpoint captures exactly one chain, so checkpointed runs are
+    // single-run; say so if the user asked for more.
+    if (runs > 1) {
+      std::fprintf(stderr,
+                   "note: --checkpoint/--resume forces --runs 1 (a "
+                   "checkpoint holds one chain)\n");
+    }
+    runs = 1;
+    best = hsbp::sbp::run(graph, config, ck);
+  } else {
+    best = hsbp::eval::best_of(graph, config, runs).best;
+  }
 
   std::printf("%s best-of-%d: %d communities, MDL %.2f (norm %.4f), "
               "modularity %.4f\n",
               hsbp::sbp::variant_name(config.variant), runs,
-              outcome.best.num_blocks, outcome.best.mdl,
-              hsbp::metrics::normalized_mdl(outcome.best.mdl,
-                                            graph.num_vertices(),
+              best.num_blocks, best.mdl,
+              hsbp::metrics::normalized_mdl(best.mdl, graph.num_vertices(),
                                             graph.num_edges()),
-              hsbp::metrics::modularity(graph, outcome.best.assignment));
+              hsbp::metrics::modularity(graph, best.assignment));
 
   if (args.has("out")) {
     const std::string path = args.get_string("out", "");
-    hsbp::eval::save_assignment_file(outcome.best.assignment, path);
+    hsbp::eval::save_assignment_file(best.assignment, path);
     std::printf("assignment -> %s\n", path.c_str());
   }
+  if (best.interrupted) return report_interrupted(ck.save_path);
   return 0;
 }
 
@@ -214,7 +288,9 @@ int cmd_sample(const Args& args) {
         "[--sampler uniform|degree|edge|snowball] [--finetune-iters N] "
         "[--algorithm sbp|asbp|hsbp|bsbp] [--baseline] [--out FILE]\n"
         "            [--suite synthetic|realworld --scale F --only ID | "
-        "generator flags]\n");
+        "generator flags]\n"
+        "            [--checkpoint FILE] [--checkpoint-every N] "
+        "[--resume FILE]\n");
     return 0;
   }
 
@@ -261,7 +337,8 @@ int cmd_sample(const Args& args) {
               hsbp::sbp::variant_name(config.base.variant),
               hsbp::sample::sampler_name(config.sampler), config.fraction);
 
-  const auto result = hsbp::sample::run(workload.graph, config);
+  const auto ck = checkpoint_config(args);
+  const auto result = hsbp::sample::run(workload.graph, config, ck);
 
   hsbp::util::Table table({"stage", "seconds", "%"});
   const auto& t = result.timings;
@@ -326,6 +403,7 @@ int cmd_sample(const Args& args) {
     hsbp::eval::save_assignment_file(result.assignment, path);
     std::printf("assignment -> %s\n", path.c_str());
   }
+  if (result.interrupted) return report_interrupted(ck.save_path);
   return 0;
 }
 
@@ -374,7 +452,7 @@ int cmd_score(const Args& args) {
     std::printf(
         "hsbp score <truth.tsv> <predicted.tsv> — NMI/ARI/pairwise-F1 "
         "between two assignment files\n");
-    return args.has("help") ? 0 : 2;
+    return args.has("help") ? 0 : kExitUsage;
   }
   const auto truth =
       hsbp::eval::load_assignment_file(args.positionals()[0]);
@@ -427,7 +505,7 @@ int cmd_dist(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage(2);
+  if (argc < 2) usage(kExitUsage);
   const std::string command = argv[1];
   const Args args(argc - 1, argv + 1);
   try {
@@ -444,9 +522,18 @@ int main(int argc, char** argv) {
     }
     if (command == "--help" || command == "help") usage(0);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    usage(2);
+    usage(kExitUsage);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
+  } catch (const hsbp::util::DataError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitData;
+  } catch (const hsbp::util::IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitIo;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitInternal;
   }
 }
