@@ -15,9 +15,20 @@
 #include "blockmodel/merge_delta.hpp"
 #include "blockmodel/vertex_move_delta.hpp"
 #include "generator/dcsbm.hpp"
+#include "sbp/async_pass.hpp"
 #include "sbp/hastings.hpp"
+#include "sbp/mcmc_common.hpp"
 #include "sbp/proposal.hpp"
 #include "util/rng.hpp"
+
+// The gather/move-delta/Hastings benches measure the kernels exactly as
+// the phase loops invoke them. With the scratch-arena API present that
+// is the allocation-free *_into path; in older trees (this file doubles
+// as the before/after probe for the perf harness) it is the original
+// allocate-per-call path — each tree benches its own hot path.
+#if __has_include("blockmodel/flat_slice.hpp")
+#define HSBP_BENCH_HAVE_SCRATCH 1
+#endif
 
 namespace {
 
@@ -51,17 +62,49 @@ Fixture& fixture() {
 void BM_GatherNeighborBlocks(benchmark::State& state) {
   auto& f = fixture();
   hsbp::util::Rng rng(1);
+#ifdef HSBP_BENCH_HAVE_SCRATCH
+  hsbp::blockmodel::MoveScratch scratch;
+  const auto assignment = f.blockmodel.assignment();
+  const auto view = [assignment](Vertex u) {
+    return assignment[static_cast<std::size_t>(u)];
+  };
+  for (auto _ : state) {
+    const auto v = static_cast<Vertex>(rng.uniform_int(2000));
+    hsbp::blockmodel::gather_neighbor_blocks_into(f.generated.graph, view, v,
+                                                  scratch);
+    benchmark::DoNotOptimize(scratch.nb.degree_total());
+  }
+#else
   for (auto _ : state) {
     const auto v = static_cast<Vertex>(rng.uniform_int(2000));
     benchmark::DoNotOptimize(hsbp::blockmodel::gather_neighbor_blocks(
         f.generated.graph, f.blockmodel.assignment(), v));
   }
+#endif
 }
 BENCHMARK(BM_GatherNeighborBlocks);
 
 void BM_VertexMoveDelta(benchmark::State& state) {
   auto& f = fixture();
   hsbp::util::Rng rng(2);
+#ifdef HSBP_BENCH_HAVE_SCRATCH
+  hsbp::blockmodel::MoveScratch scratch;
+  const auto assignment = f.blockmodel.assignment();
+  const auto view = [assignment](Vertex u) {
+    return assignment[static_cast<std::size_t>(u)];
+  };
+  for (auto _ : state) {
+    const auto v = static_cast<Vertex>(rng.uniform_int(2000));
+    const BlockId from = f.blockmodel.block_of(v);
+    const auto to =
+        static_cast<BlockId>((from + 1 + rng.uniform_int(15)) % 16);
+    hsbp::blockmodel::gather_neighbor_blocks_into(f.generated.graph, view, v,
+                                                  scratch);
+    hsbp::blockmodel::vertex_move_delta_into(f.blockmodel, from, to,
+                                             scratch.nb, scratch);
+    benchmark::DoNotOptimize(scratch.delta.delta_mdl);
+  }
+#else
   for (auto _ : state) {
     const auto v = static_cast<Vertex>(rng.uniform_int(2000));
     const BlockId from = f.blockmodel.block_of(v);
@@ -72,6 +115,7 @@ void BM_VertexMoveDelta(benchmark::State& state) {
     benchmark::DoNotOptimize(
         hsbp::blockmodel::vertex_move_delta(f.blockmodel, from, to, nb));
   }
+#endif
 }
 BENCHMARK(BM_VertexMoveDelta);
 
@@ -91,6 +135,25 @@ BENCHMARK(BM_ProposeBlock);
 void BM_HastingsCorrection(benchmark::State& state) {
   auto& f = fixture();
   hsbp::util::Rng rng(4);
+#ifdef HSBP_BENCH_HAVE_SCRATCH
+  hsbp::blockmodel::MoveScratch scratch;
+  const auto assignment = f.blockmodel.assignment();
+  const auto view = [assignment](Vertex u) {
+    return assignment[static_cast<std::size_t>(u)];
+  };
+  for (auto _ : state) {
+    const auto v = static_cast<Vertex>(rng.uniform_int(2000));
+    const BlockId from = f.blockmodel.block_of(v);
+    const auto to =
+        static_cast<BlockId>((from + 1 + rng.uniform_int(15)) % 16);
+    hsbp::blockmodel::gather_neighbor_blocks_into(f.generated.graph, view, v,
+                                                  scratch);
+    hsbp::blockmodel::vertex_move_delta_into(f.blockmodel, from, to,
+                                             scratch.nb, scratch);
+    benchmark::DoNotOptimize(
+        hsbp::sbp::hastings_correction(f.blockmodel, from, to, scratch));
+  }
+#else
   for (auto _ : state) {
     const auto v = static_cast<Vertex>(rng.uniform_int(2000));
     const BlockId from = f.blockmodel.block_of(v);
@@ -103,6 +166,7 @@ void BM_HastingsCorrection(benchmark::State& state) {
     benchmark::DoNotOptimize(
         hsbp::sbp::hastings_correction(f.blockmodel, nb, from, to, delta));
   }
+#endif
 }
 BENCHMARK(BM_HastingsCorrection);
 
@@ -133,6 +197,45 @@ void BM_MergeDelta(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MergeDelta);
+
+// ---- full-pass kernels: one whole sweep over the vertex set, the
+// granularity the phase loops actually run at. These aggregate the
+// micro kernels above plus everything between them (scratch reuse,
+// slice iteration, RNG streams), so they are the guard against a
+// "micro benches improved, passes regressed" outcome.
+
+void BM_AsyncPass(benchmark::State& state) {
+  auto& f = fixture();
+  hsbp::util::RngPool rngs(11, 8);
+  std::vector<Vertex> vertices(2000);
+  for (Vertex v = 0; v < 2000; ++v) vertices[static_cast<std::size_t>(v)] = v;
+  for (auto _ : state) {
+    auto shared =
+        hsbp::sbp::detail::make_atomic_assignment(f.blockmodel.assignment());
+    auto sizes = hsbp::sbp::detail::make_atomic_sizes(f.blockmodel);
+    benchmark::DoNotOptimize(hsbp::sbp::detail::async_pass(
+        f.generated.graph, f.blockmodel, shared, sizes, vertices, 3.0, rngs));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_AsyncPass);
+
+void BM_SerialMhPass(benchmark::State& state) {
+  auto f = Fixture(2000, 16, 20000);  // private copy: the pass mutates it
+  hsbp::util::RngPool rngs(12, 1);
+  const auto view = [&f](Vertex u) { return f.blockmodel.block_of(u); };
+  for (auto _ : state) {
+    for (Vertex v = 0; v < 2000; ++v) {
+      const auto result = hsbp::sbp::evaluate_vertex(
+          f.generated.graph, f.blockmodel, view, v,
+          f.blockmodel.block_size(f.blockmodel.block_of(v)), 3.0,
+          rngs.stream(0));
+      if (result.moved) f.blockmodel.move_vertex(f.generated.graph, v, result.to);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SerialMhPass);
 
 void BM_RebuildBlockmodel(benchmark::State& state) {
   auto f = Fixture(static_cast<Vertex>(state.range(0)), 16,

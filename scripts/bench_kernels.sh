@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Kernel perf-regression harness: runs the bm_kernels google-benchmark
+# suite and writes BENCH_kernels.json (ns/op per kernel, plus speedups
+# against a baseline run when one is supplied).
+#
+# Usage: scripts/bench_kernels.sh [BUILD_DIR]
+#
+# Environment:
+#   HSBP_BENCH_BEFORE   optional path to a google-benchmark JSON file
+#                       from a baseline build (e.g. produced by running
+#                       bm_kernels --benchmark_format=json in a worktree
+#                       at the pre-optimization commit). When set, the
+#                       output records before/after/speedup per kernel;
+#                       otherwise the previous BENCH_kernels.json's
+#                       "after" numbers are reused as the baseline so
+#                       successive runs catch regressions.
+#   HSBP_BENCH_MIN_TIME benchmark --benchmark_min_time value. Plain
+#                       seconds as a bare number (older google-benchmark
+#                       releases reject the "0.2s" suffix form).
+#   HSBP_BENCH_OUT      output path (default: BENCH_kernels.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+MIN_TIME="${HSBP_BENCH_MIN_TIME:-0.2}"
+OUT="${HSBP_BENCH_OUT:-BENCH_kernels.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bm_kernels >&2
+
+"$BUILD_DIR/bench/bm_kernels" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json
+import subprocess
+import sys
+import os
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+after = {b["name"]: b["real_time"]
+         for b in json.load(open(raw_path))["benchmarks"]
+         if b.get("run_type", "iteration") == "iteration"}
+
+before = {}
+before_src = os.environ.get("HSBP_BENCH_BEFORE", "")
+if before_src:
+    before = {b["name"]: b["real_time"]
+              for b in json.load(open(before_src))["benchmarks"]
+              if b.get("run_type", "iteration") == "iteration"}
+elif os.path.exists(out_path):
+    before = {k: v["after_ns"]
+              for k, v in json.load(open(out_path))["kernels"].items()}
+
+commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                        capture_output=True, text=True).stdout.strip()
+
+kernels = {}
+for name, ns in after.items():
+    entry = {"after_ns": round(ns, 1)}
+    if name in before:
+        entry["before_ns"] = round(before[name], 1)
+        entry["speedup"] = round(before[name] / ns, 2)
+    kernels[name] = entry
+
+doc = {
+    "commit": commit,
+    "min_time_s": float(os.environ.get("HSBP_BENCH_MIN_TIME", "0.2")),
+    "baseline": before_src or (out_path if before else None),
+    "kernels": kernels,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+width = max(len(n) for n in kernels)
+for name, entry in kernels.items():
+    line = f"{name:<{width}}  after={entry['after_ns']:>12.1f} ns"
+    if "speedup" in entry:
+        line += f"  before={entry['before_ns']:>12.1f} ns  ({entry['speedup']}x)"
+    print(line)
+print(f"wrote {out_path}")
+EOF

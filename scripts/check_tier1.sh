@@ -15,6 +15,11 @@
 #   HSBP_JOBS         build/test parallelism (default: nproc; a bare
 #                     `-j` spawns every job at once and thrashes small
 #                     machines)
+#   HSBP_BENCH_SMOKE  set to 1 to also run the bm_kernels suite briefly
+#                     (--benchmark_min_time=0.05) after the tests — a
+#                     smoke check that every kernel bench still builds
+#                     and runs, not a measurement (use
+#                     scripts/bench_kernels.sh for real numbers)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,4 +43,14 @@ if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_FAULT:-0}" != "1" ]]; then
   cmake -B "$FAULT_DIR" -S . -DHSBP_SANITIZE=address,undefined
   cmake --build "$FAULT_DIR" -j "$JOBS"
   (cd "$FAULT_DIR" && ctest --output-on-failure -j "$JOBS" -L fault)
+fi
+
+# Stage 3 (opt-in): bench smoke — every kernel bench must still build
+# and complete. Short min_time on purpose: this guards against bit-rot
+# in the bench harness, not performance (see scripts/bench_kernels.sh).
+# Note the bare-number min_time: older google-benchmark releases reject
+# the "0.05s" suffix spelling.
+if [[ "${HSBP_BENCH_SMOKE:-0}" == "1" ]]; then
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bm_kernels
+  "$BUILD_DIR/bench/bm_kernels" --benchmark_min_time=0.05
 fi

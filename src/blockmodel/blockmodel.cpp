@@ -5,6 +5,7 @@
 #include <cassert>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 namespace hsbp::blockmodel {
 

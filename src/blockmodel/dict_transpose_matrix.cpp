@@ -6,46 +6,40 @@ namespace hsbp::blockmodel {
 
 void DictTransposeMatrix::add(BlockId row, BlockId col, Count delta) {
   if (delta == 0) return;
-  auto& row_slice = rows_[static_cast<std::size_t>(row)];
-  auto& col_slice = cols_[static_cast<std::size_t>(col)];
-
-  const auto apply = [](SparseSlice& slice, BlockId key, Count d) {
-    auto [it, inserted] = slice.try_emplace(key, 0);
-    it->second += d;
-    assert(it->second >= 0 && "blockmodel cell went negative");
-    if (it->second == 0) slice.erase(it);
-  };
-
-  apply(row_slice, col, delta);
-  apply(col_slice, row, delta);
+  const int created =
+      rows_[static_cast<std::size_t>(row)].add(col, delta);
+  const int mirror = cols_[static_cast<std::size_t>(col)].add(row, delta);
+  assert(created == mirror && "row/column mirror diverged");
+  (void)mirror;
+  nnz_ = static_cast<std::size_t>(static_cast<std::int64_t>(nnz_) + created);
   total_ += delta;
-}
-
-std::size_t DictTransposeMatrix::nonzeros() const noexcept {
-  std::size_t count = 0;
-  for (const auto& slice : rows_) count += slice.size();
-  return count;
 }
 
 bool DictTransposeMatrix::check_consistency() const {
   Count row_total = 0;
+  std::size_t row_nnz = 0;
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     for (const auto& [col, value] : rows_[r]) {
       if (value <= 0) return false;
       row_total += value;
-      const auto& mirror = cols_[static_cast<std::size_t>(col)];
-      const auto it = mirror.find(static_cast<BlockId>(r));
-      if (it == mirror.end() || it->second != value) return false;
+      ++row_nnz;
+      if (cols_[static_cast<std::size_t>(col)].get(
+              static_cast<BlockId>(r)) != value) {
+        return false;
+      }
     }
   }
   Count col_total = 0;
+  std::size_t col_nnz = 0;
   for (const auto& slice : cols_) {
     for (const auto& [row, value] : slice) {
       (void)row;
       col_total += value;
+      ++col_nnz;
     }
   }
-  return row_total == total_ && col_total == total_;
+  return row_total == total_ && col_total == total_ && row_nnz == nnz_ &&
+         col_nnz == nnz_;
 }
 
 }  // namespace hsbp::blockmodel

@@ -10,23 +10,27 @@
 /// row-map and a column-map ("dict" + "transpose dict"), the structure
 /// the reference SBP implementations call DictTransposeMatrix.
 ///
+/// Slices are FlatSlice (contiguous entries + open-addressing index),
+/// so the weighted proposal draws and merge folds that sweep whole
+/// slices run over contiguous memory instead of hash-map nodes.
+///
 /// Invariants (checked by check_consistency() in tests):
 ///   - rows_[r][s] == cols_[s][r] for every stored cell,
 ///   - no zero-valued entries are stored,
-///   - total() equals the sum of all cells.
+///   - total() equals the sum of all cells,
+///   - nonzeros() equals the stored-cell count (maintained
+///     incrementally by add(), not recounted).
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "blockmodel/flat_slice.hpp"
 
 namespace hsbp::blockmodel {
 
-using BlockId = std::int32_t;
-using Count = std::int64_t;
-
 /// One sparse row or column: block id → edge count.
-using SparseSlice = std::unordered_map<BlockId, Count>;
+using SparseSlice = FlatSlice;
 
 class DictTransposeMatrix {
  public:
@@ -39,9 +43,7 @@ class DictTransposeMatrix {
 
   /// Cell value; absent cells are 0.
   Count get(BlockId row, BlockId col) const noexcept {
-    const auto& slice = rows_[static_cast<std::size_t>(row)];
-    const auto it = slice.find(col);
-    return it == slice.end() ? 0 : it->second;
+    return rows_[static_cast<std::size_t>(row)].get(col);
   }
 
   /// Adds `delta` to cell (row, col); erases the cell if it reaches zero.
@@ -58,17 +60,18 @@ class DictTransposeMatrix {
   /// Sum of all cells (maintained incrementally).
   Count total() const noexcept { return total_; }
 
-  /// Number of stored nonzero cells.
-  std::size_t nonzeros() const noexcept;
+  /// Number of stored nonzero cells (maintained incrementally).
+  std::size_t nonzeros() const noexcept { return nnz_; }
 
-  /// Verifies the row/column mirror and non-negativity invariants;
-  /// returns false (and logs nothing) on violation. O(nnz).
+  /// Verifies the row/column mirror, non-negativity, and incremental
+  /// total/nonzero counters; returns false on violation. O(nnz).
   bool check_consistency() const;
 
  private:
   std::vector<SparseSlice> rows_;
   std::vector<SparseSlice> cols_;
   Count total_ = 0;
+  std::size_t nnz_ = 0;
 };
 
 }  // namespace hsbp::blockmodel

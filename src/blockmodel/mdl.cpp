@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "blockmodel/xlogx_table.hpp"
+
 namespace hsbp::blockmodel {
 
 double xlogx(double x) noexcept {
@@ -21,10 +23,10 @@ double log_likelihood(const Blockmodel& b) {
   for (BlockId r = 0; r < b.num_blocks(); ++r) {
     for (const auto& [col, count] : b.matrix().row(r)) {
       (void)col;
-      cell_term += xlogx(static_cast<double>(count));
+      cell_term += xlogx_count(count);
     }
-    degree_term += xlogx(static_cast<double>(b.degree_out(r)));
-    degree_term += xlogx(static_cast<double>(b.degree_in(r)));
+    degree_term += xlogx_count(b.degree_out(r));
+    degree_term += xlogx_count(b.degree_in(r));
   }
   return cell_term - degree_term;
 }

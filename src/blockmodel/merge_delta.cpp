@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "blockmodel/mdl.hpp"
+#include "blockmodel/xlogx_table.hpp"
 
 namespace hsbp::blockmodel {
 
@@ -18,33 +19,27 @@ double merge_delta_mdl(const Blockmodel& b, BlockId from, BlockId to,
   for (const auto& [t, value] : m.row(from)) {
     if (t == from || t == to) continue;
     const Count existing = m.get(to, t);
-    delta_cells += xlogx(static_cast<double>(existing + value)) -
-                   xlogx(static_cast<double>(existing)) -
-                   xlogx(static_cast<double>(value));
+    delta_cells += xlogx_count(existing + value) - xlogx_count(existing) -
+                   xlogx_count(value);
   }
   // Off-corner cells of column `from` fold into column `to`.
   for (const auto& [t, value] : m.col(from)) {
     if (t == from || t == to) continue;
     const Count existing = m.get(t, to);
-    delta_cells += xlogx(static_cast<double>(existing + value)) -
-                   xlogx(static_cast<double>(existing)) -
-                   xlogx(static_cast<double>(value));
+    delta_cells += xlogx_count(existing + value) - xlogx_count(existing) -
+                   xlogx_count(value);
   }
   // The four corner cells collapse into (to, to).
   const Count ff = m.get(from, from);
   const Count ft = m.get(from, to);
   const Count tf = m.get(to, from);
   const Count tt = m.get(to, to);
-  delta_cells += xlogx(static_cast<double>(tt + ff + ft + tf)) -
-                 xlogx(static_cast<double>(tt)) -
-                 xlogx(static_cast<double>(ff)) -
-                 xlogx(static_cast<double>(ft)) -
-                 xlogx(static_cast<double>(tf));
+  delta_cells += xlogx_count(tt + ff + ft + tf) - xlogx_count(tt) -
+                 xlogx_count(ff) - xlogx_count(ft) - xlogx_count(tf);
 
   // Degree terms: d(to) absorbs d(from).
   const auto merge_degrees = [](Count a, Count into) {
-    return xlogx(static_cast<double>(into + a)) -
-           xlogx(static_cast<double>(into)) - xlogx(static_cast<double>(a));
+    return xlogx_count(into + a) - xlogx_count(into) - xlogx_count(a);
   };
   const double delta_degrees =
       merge_degrees(b.degree_out(from), b.degree_out(to)) +

@@ -1,11 +1,15 @@
 #include "blockmodel/vertex_move_delta.hpp"
 
-#include <algorithm>
 #include <cassert>
 
-#include "blockmodel/mdl.hpp"
+#include "blockmodel/xlogx_table.hpp"
 
 namespace hsbp::blockmodel {
+
+MoveScratch& thread_move_scratch() noexcept {
+  static thread_local MoveScratch scratch;
+  return scratch;
+}
 
 NeighborBlockCounts gather_neighbor_blocks(
     const graph::Graph& graph, std::span<const std::int32_t> assignment,
@@ -27,21 +31,40 @@ Count MoveDelta::new_value(const Blockmodel& b, BlockId row,
   return value;
 }
 
-MoveDelta vertex_move_delta(const Blockmodel& b, BlockId from, BlockId to,
-                            const NeighborBlockCounts& nb) {
-  assert(from != to);
-  MoveDelta result;
-  auto& cells = result.cell_deltas;
-  cells.reserve(2 * (nb.out.size() + nb.in.size()) + 4);
+namespace {
 
-  const auto add_cell = [&cells](BlockId row, BlockId col, Count delta) {
-    for (CellDelta& cd : cells) {
-      if (cd.row == row && cd.col == col) {
-        cd.delta += delta;
-        return;
-      }
+/// Canonical (lane, partner) encoding of a changed cell. Every cell a
+/// move from→to touches has its row or column in {from, to}; testing in
+/// this fixed order makes the encoding injective, so one stamp slot
+/// identifies one cell.
+inline std::pair<int, BlockId> cell_lane(BlockId row, BlockId col,
+                                         BlockId from, BlockId to) noexcept {
+  if (row == from) return {MoveScratch::kRowFrom, col};
+  if (row == to) return {MoveScratch::kRowTo, col};
+  if (col == from) return {MoveScratch::kColFrom, row};
+  return {MoveScratch::kColTo, row};  // col == to
+}
+
+}  // namespace
+
+void vertex_move_delta_into(const Blockmodel& b, BlockId from, BlockId to,
+                            const NeighborBlockCounts& nb,
+                            MoveScratch& scratch) {
+  assert(from != to);
+  auto& cells = scratch.delta.cell_deltas;
+  cells.clear();
+  scratch.begin_epoch();
+  scratch.set_move(from, to);
+
+  const auto add_cell = [&](BlockId row, BlockId col, Count delta) {
+    const auto [lane, partner] = cell_lane(row, col, from, to);
+    std::int32_t& s = scratch.slot(partner, lane);
+    if (s < 0) {
+      s = static_cast<std::int32_t>(cells.size());
+      cells.push_back({row, col, delta});
+    } else {
+      cells[static_cast<std::size_t>(s)].delta += delta;
     }
-    cells.push_back({row, col, delta});
   };
 
   // Out-edges v→u (u keeps its block t): (from,t) loses, (to,t) gains.
@@ -66,23 +89,39 @@ MoveDelta vertex_move_delta(const Blockmodel& b, BlockId from, BlockId to,
     const Count old_value = b.matrix().get(cd.row, cd.col);
     const Count new_value = old_value + cd.delta;
     assert(new_value >= 0);
-    delta_cells += xlogx(static_cast<double>(new_value)) -
-                   xlogx(static_cast<double>(old_value));
+    delta_cells += xlogx_count(new_value) - xlogx_count(old_value);
   }
 
   const auto degree_delta = [](Count before_from, Count before_to, Count k) {
-    return xlogx(static_cast<double>(before_from - k)) -
-           xlogx(static_cast<double>(before_from)) +
-           xlogx(static_cast<double>(before_to + k)) -
-           xlogx(static_cast<double>(before_to));
+    return xlogx_count(before_from - k) - xlogx_count(before_from) +
+           xlogx_count(before_to + k) - xlogx_count(before_to);
   };
   const double delta_degrees =
       degree_delta(b.degree_out(from), b.degree_out(to), nb.degree_out) +
       degree_delta(b.degree_in(from), b.degree_in(to), nb.degree_in);
 
   // ΔL = Δcells − Δdegrees; ΔMDL = −ΔL (model term unchanged).
-  result.delta_mdl = -(delta_cells - delta_degrees);
-  return result;
+  scratch.delta.delta_mdl = -(delta_cells - delta_degrees);
+}
+
+Count move_new_value(const Blockmodel& b, const MoveScratch& scratch,
+                     BlockId row, BlockId col) noexcept {
+  const Count value = b.matrix().get(row, col);
+  const BlockId from = scratch.move_from();
+  const BlockId to = scratch.move_to();
+  if (row != from && row != to && col != from && col != to) return value;
+  const auto [lane, partner] = cell_lane(row, col, from, to);
+  const std::int32_t s = scratch.slot_or_empty(partner, lane);
+  if (s < 0) return value;
+  return value +
+         scratch.delta.cell_deltas[static_cast<std::size_t>(s)].delta;
+}
+
+MoveDelta vertex_move_delta(const Blockmodel& b, BlockId from, BlockId to,
+                            const NeighborBlockCounts& nb) {
+  MoveScratch& scratch = thread_move_scratch();
+  vertex_move_delta_into(b, from, to, nb, scratch);
+  return scratch.delta;
 }
 
 }  // namespace hsbp::blockmodel

@@ -1,7 +1,8 @@
 /// \file vertex_move_delta.hpp
 /// \brief O(deg(v)) ΔMDL computation for a proposed vertex move — the
 /// inner kernel of every MCMC phase (paper Algs. 2–4: "compute AMDL for
-/// proposed move").
+/// proposed move") — plus the MoveScratch arena that makes it
+/// allocation-free.
 ///
 /// Uses the decomposition L = Σ xlogx(M_rs) − Σ xlogx(d_out) − Σ
 /// xlogx(d_in): a move r→s changes only cells in rows/columns r and s
@@ -9,8 +10,18 @@
 /// entries. The model-complexity term of the MDL is unchanged because
 /// vertex moves never change the number of blocks (moves that would
 /// empty a block are rejected upstream).
+///
+/// Two API layers:
+///   - *_into kernels writing into a caller-owned MoveScratch — the hot
+///     path. No heap allocation after warm-up, O(k) dedup through an
+///     epoch-stamped block→slot index instead of linear rescans.
+///   - by-value wrappers (gather_neighbor_blocks, vertex_move_delta)
+///     retained for cold paths and tests; they run the same kernels
+///     through a thread-local scratch and copy the result out.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -35,48 +46,6 @@ struct NeighborBlockCounts {
   Count degree_total() const noexcept { return degree_out + degree_in; }
 };
 
-/// Gathers neighbor-block counts reading memberships through `view`,
-/// a callable Vertex → BlockId. This is the A-SBP hook: the async phase
-/// passes a view over an atomically-updated shared membership vector,
-/// the serial phases a view over the blockmodel's own assignment.
-template <typename View>
-NeighborBlockCounts gather_neighbor_blocks_view(const graph::Graph& graph,
-                                                const View& view,
-                                                graph::Vertex v) {
-  const auto accumulate = [](std::vector<std::pair<BlockId, Count>>& counts,
-                             BlockId block) {
-    for (auto& [b, c] : counts) {
-      if (b == block) {
-        ++c;
-        return;
-      }
-    }
-    counts.emplace_back(block, 1);
-  };
-
-  NeighborBlockCounts nb;
-  nb.degree_out = graph.out_degree(v);
-  nb.degree_in = graph.in_degree(v);
-  nb.out.reserve(8);
-  nb.in.reserve(8);
-  for (const graph::Vertex u : graph.out_neighbors(v)) {
-    if (u == v) {
-      ++nb.self_loops;
-      continue;
-    }
-    accumulate(nb.out, view(u));
-  }
-  for (const graph::Vertex u : graph.in_neighbors(v)) {
-    if (u == v) continue;  // counted once via the out pass
-    accumulate(nb.in, view(u));
-  }
-  return nb;
-}
-
-NeighborBlockCounts gather_neighbor_blocks(
-    const graph::Graph& graph, std::span<const std::int32_t> assignment,
-    graph::Vertex v);
-
 /// A changed cell of M: (row, col, additive delta).
 struct CellDelta {
   BlockId row;
@@ -92,10 +61,160 @@ struct MoveDelta {
   std::vector<CellDelta> cell_deltas;
 
   /// Post-move value of cell (row, col) given the pre-move blockmodel.
+  /// Linear scan over the cell list; the hot path uses move_new_value()
+  /// on a MoveScratch instead, which answers in O(1).
   Count new_value(const Blockmodel& b, BlockId row, BlockId col) const;
 };
 
-/// ΔMDL of moving v from `from` to `to`. \pre from != to; `nb` gathered
+/// Per-thread reusable workspace for the propose/ΔMDL/accept step.
+/// Holds the gather and cell-delta buffers (cleared, never freed, so
+/// steady-state passes allocate nothing) and an epoch-stamped
+/// block→slot index that turns the O(k²) linear-scan dedups of the
+/// gather and ΔMDL kernels into O(k) stamping.
+///
+/// The index has four lanes per block, one per cell shape a move r→s
+/// can touch — (r,t), (s,t), (t,r), (t,s) — so any changed cell maps to
+/// a unique (lane, t) pair (rows/cols outside {r, s} never change).
+/// Bumping the epoch invalidates all stamps in O(1); the backing arrays
+/// grow to the largest block id seen and are then reused forever.
+class MoveScratch {
+ public:
+  NeighborBlockCounts nb;  ///< gather target (buffers reused)
+  MoveDelta delta;         ///< ΔMDL target (cell buffer reused)
+
+  /// Lanes of the stamp index; see cell-shape table above.
+  enum Lane : int { kRowFrom = 0, kRowTo = 1, kColFrom = 2, kColTo = 3 };
+
+  /// Invalidates every stamp (O(1) except on epoch wrap).
+  void begin_epoch() noexcept {
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Slot cell for (block, lane) under the current epoch; freshly
+  /// stamped blocks start with all four lanes at -1 (empty). Grows the
+  /// backing arrays on first sight of a larger block id.
+  std::int32_t& slot(BlockId block, int lane) noexcept {
+    const auto i = static_cast<std::size_t>(block);
+    if (i >= stamps_.size()) grow(i + 1);
+    if (stamps_[i] != epoch_) {
+      stamps_[i] = epoch_;
+      slots_[i] = {-1, -1, -1, -1};
+    }
+    return slots_[i][static_cast<std::size_t>(lane)];
+  }
+
+  /// Read-only slot lookup: -1 if the block was never stamped this
+  /// epoch (or is out of range).
+  std::int32_t slot_or_empty(BlockId block, int lane) const noexcept {
+    const auto i = static_cast<std::size_t>(block);
+    if (i >= stamps_.size() || stamps_[i] != epoch_) return -1;
+    return slots_[i][static_cast<std::size_t>(lane)];
+  }
+
+  /// Endpoints of the move the `delta` buffer currently describes (set
+  /// by vertex_move_delta_into; consumed by move_new_value).
+  BlockId move_from() const noexcept { return move_from_; }
+  BlockId move_to() const noexcept { return move_to_; }
+  void set_move(BlockId from, BlockId to) noexcept {
+    move_from_ = from;
+    move_to_ = to;
+  }
+
+ private:
+  void grow(std::size_t needed) {
+    stamps_.resize(needed, 0u);
+    slots_.resize(needed);
+  }
+
+  std::vector<std::uint32_t> stamps_;
+  std::vector<std::array<std::int32_t, 4>> slots_;
+  std::uint32_t epoch_ = 0;
+  BlockId move_from_ = -1;
+  BlockId move_to_ = -1;
+};
+
+/// The calling thread's scratch arena (one per OpenMP thread, lives for
+/// the thread's lifetime). Scratch state never influences results — the
+/// epoch discipline fully isolates consecutive uses — so sharing one
+/// arena across phases is safe.
+MoveScratch& thread_move_scratch() noexcept;
+
+/// Gathers neighbor-block counts into scratch.nb, reading memberships
+/// through `view`, a callable Vertex → BlockId. This is the A-SBP hook:
+/// the async phase passes a view over an atomically-updated shared
+/// membership vector, the serial phases a view over the blockmodel's
+/// own assignment. Dedup is O(deg(v)) via the stamp index.
+template <typename View>
+void gather_neighbor_blocks_into(const graph::Graph& graph, const View& view,
+                                 graph::Vertex v, MoveScratch& scratch) {
+  NeighborBlockCounts& nb = scratch.nb;
+  nb.out.clear();
+  nb.in.clear();
+  nb.self_loops = 0;
+  nb.degree_out = graph.out_degree(v);
+  nb.degree_in = graph.in_degree(v);
+
+  scratch.begin_epoch();
+  for (const graph::Vertex u : graph.out_neighbors(v)) {
+    if (u == v) {
+      ++nb.self_loops;
+      continue;
+    }
+    const BlockId block = view(u);
+    std::int32_t& s = scratch.slot(block, MoveScratch::kRowFrom);
+    if (s < 0) {
+      s = static_cast<std::int32_t>(nb.out.size());
+      nb.out.emplace_back(block, 1);
+    } else {
+      ++nb.out[static_cast<std::size_t>(s)].second;
+    }
+  }
+  for (const graph::Vertex u : graph.in_neighbors(v)) {
+    if (u == v) continue;  // counted once via the out pass
+    const BlockId block = view(u);
+    std::int32_t& s = scratch.slot(block, MoveScratch::kRowTo);
+    if (s < 0) {
+      s = static_cast<std::int32_t>(nb.in.size());
+      nb.in.emplace_back(block, 1);
+    } else {
+      ++nb.in[static_cast<std::size_t>(s)].second;
+    }
+  }
+}
+
+/// ΔMDL of moving v from `from` to `to`, written into scratch.delta
+/// (and the stamp index, which move_new_value() reads afterwards).
+/// `nb` is usually scratch.nb (aliasing is fine — it is only read).
+/// \pre from != to; `nb` gathered under the same assignment the
+/// blockmodel's M corresponds to.
+void vertex_move_delta_into(const Blockmodel& b, BlockId from, BlockId to,
+                            const NeighborBlockCounts& nb,
+                            MoveScratch& scratch);
+
+/// Post-move value of cell (row, col) in O(1), using the stamp index
+/// left by the latest vertex_move_delta_into on this scratch.
+Count move_new_value(const Blockmodel& b, const MoveScratch& scratch,
+                     BlockId row, BlockId col) noexcept;
+
+/// By-value wrapper over gather_neighbor_blocks_into (thread scratch).
+template <typename View>
+NeighborBlockCounts gather_neighbor_blocks_view(const graph::Graph& graph,
+                                                const View& view,
+                                                graph::Vertex v) {
+  MoveScratch& scratch = thread_move_scratch();
+  gather_neighbor_blocks_into(graph, view, v, scratch);
+  return scratch.nb;
+}
+
+NeighborBlockCounts gather_neighbor_blocks(
+    const graph::Graph& graph, std::span<const std::int32_t> assignment,
+    graph::Vertex v);
+
+/// By-value wrapper over vertex_move_delta_into (thread scratch). ΔMDL
+/// of moving v from `from` to `to`. \pre from != to; `nb` gathered
 /// under the same assignment the blockmodel's M corresponds to.
 MoveDelta vertex_move_delta(const Blockmodel& b, BlockId from, BlockId to,
                             const NeighborBlockCounts& nb);

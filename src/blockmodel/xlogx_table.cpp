@@ -1,0 +1,27 @@
+#include "blockmodel/xlogx_table.hpp"
+
+#include <array>
+
+namespace hsbp::blockmodel::detail {
+
+namespace {
+
+std::array<double, kXlogxTableSize> build_table() noexcept {
+  std::array<double, kXlogxTableSize> table{};
+  table[0] = 0.0;
+  for (std::size_t x = 1; x < kXlogxTableSize; ++x) {
+    // The exact expression of the std::log fallback, so lookups are
+    // bit-identical to computing.
+    const double xd = static_cast<double>(x);
+    table[x] = xd * std::log(xd);
+  }
+  return table;
+}
+
+const std::array<double, kXlogxTableSize> table_storage = build_table();
+
+}  // namespace
+
+const double* const xlogx_table = table_storage.data();
+
+}  // namespace hsbp::blockmodel::detail

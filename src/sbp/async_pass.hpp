@@ -77,7 +77,8 @@ inline AsyncPassCounters async_pass(const graph::Graph& graph,
   // The loop body takes the reduction counters as parameters: inside
   // the parallel region the names bind to each thread's private copy
   // (a by-reference capture would alias the shared outer variables and
-  // race).
+  // race). Each thread evaluates through its own MoveScratch arena, so
+  // steady-state passes allocate nothing.
   const auto body = [&](std::int64_t i, std::int64_t& proposals_local,
                         std::int64_t& accepted_local) {
     const graph::Vertex v = vertices[static_cast<std::size_t>(i)];
@@ -88,8 +89,9 @@ inline AsyncPassCounters async_pass(const graph::Graph& graph,
     const std::int32_t from = view(v);
     const std::int32_t source_size =
         sizes[static_cast<std::size_t>(from)].load(std::memory_order_relaxed);
-    const VertexOutcome outcome = evaluate_vertex(
-        graph, b, view, v, source_size, beta, rngs.local());
+    const VertexOutcome outcome =
+        evaluate_vertex(graph, b, view, v, source_size, beta, rngs.local(),
+                        blockmodel::thread_move_scratch());
     ++proposals_local;
     if (!outcome.moved) return;
     // Guarded size transfer: never empty a block, even under races.

@@ -51,7 +51,11 @@ MergeOutcome block_merge_phase(const graph::Graph& graph, const Blockmodel& b,
 #pragma omp parallel for schedule(static)
   for (BlockId c = 0; c < num_blocks; ++c) {
     util::Rng& rng = rngs.local();
-    const auto nb = block_neighbor_counts(b, c);
+    // Reuse the thread's scratch arena: the neighbor-count buffers are
+    // cleared and refilled per block instead of reallocated.
+    blockmodel::NeighborBlockCounts& nb =
+        blockmodel::thread_move_scratch().nb;
+    block_neighbor_counts_into(b, c, nb);
     BestMerge& slot = best[static_cast<std::size_t>(c)];
     for (int attempt = 0; attempt < proposals_per_block; ++attempt) {
       const BlockId partner = propose_block(b, nb, c, /*is_merge=*/true, rng);

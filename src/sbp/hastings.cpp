@@ -8,10 +8,17 @@ using blockmodel::BlockId;
 using blockmodel::Blockmodel;
 using blockmodel::Count;
 using blockmodel::MoveDelta;
+using blockmodel::MoveScratch;
 using blockmodel::NeighborBlockCounts;
 
-double hastings_correction(const Blockmodel& b, const NeighborBlockCounts& nb,
-                           BlockId from, BlockId to, const MoveDelta& delta) {
+namespace {
+
+/// Shared accumulation over the neighbor blocks; `post_value(r, c)` must
+/// return the post-move value of cell (r, c). Both overloads run this
+/// exact arithmetic, so they are bit-identical given equal inputs.
+template <typename PostValue>
+double correction(const Blockmodel& b, const NeighborBlockCounts& nb,
+                  BlockId from, BlockId to, const PostValue& post_value) {
   assert(from != to);
   const double c = static_cast<double>(b.num_blocks());
   const Count mover_degree = nb.degree_total();
@@ -31,9 +38,7 @@ double hastings_correction(const Blockmodel& b, const NeighborBlockCounts& nb,
 
     // Backward: post-move matrix and degrees (only from/to degrees move).
     const double bwd_num =
-        static_cast<double>(delta.new_value(b, t, from) +
-                            delta.new_value(b, from, t)) +
-        1.0;
+        static_cast<double>(post_value(t, from) + post_value(from, t)) + 1.0;
     Count d_t = b.degree_total(t);
     if (t == from) d_t -= mover_degree;
     if (t == to) d_t += mover_degree;
@@ -46,6 +51,22 @@ double hastings_correction(const Blockmodel& b, const NeighborBlockCounts& nb,
 
   if (forward <= 0.0) return 1.0;  // isolated vertex: symmetric proposal
   return backward / forward;
+}
+
+}  // namespace
+
+double hastings_correction(const Blockmodel& b, const NeighborBlockCounts& nb,
+                           BlockId from, BlockId to, const MoveDelta& delta) {
+  return correction(b, nb, from, to, [&](BlockId r, BlockId c) {
+    return delta.new_value(b, r, c);
+  });
+}
+
+double hastings_correction(const Blockmodel& b, BlockId from, BlockId to,
+                           const MoveScratch& scratch) {
+  return correction(b, scratch.nb, from, to, [&](BlockId r, BlockId c) {
+    return blockmodel::move_new_value(b, scratch, r, c);
+  });
 }
 
 }  // namespace hsbp::sbp

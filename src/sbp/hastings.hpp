@@ -19,10 +19,20 @@
 namespace hsbp::sbp {
 
 /// Returns p_backward / p_forward for the move `from` → `to` described
-/// by `nb`/`delta`. \pre from != to; delta was computed for this move.
+/// by `nb`/`delta`. Post-move cells are answered by a linear scan of
+/// delta.cell_deltas per lookup — use the MoveScratch overload on the
+/// hot path. \pre from != to; delta was computed for this move.
 double hastings_correction(const blockmodel::Blockmodel& b,
                            const blockmodel::NeighborBlockCounts& nb,
                            blockmodel::BlockId from, blockmodel::BlockId to,
                            const blockmodel::MoveDelta& delta);
+
+/// Same correction, reading the move description (neighbor counts,
+/// cell deltas, and the stamp index that answers post-move cell values
+/// in O(1)) from the scratch a preceding vertex_move_delta_into filled.
+/// \pre from != to; scratch holds that move's gather + delta.
+double hastings_correction(const blockmodel::Blockmodel& b,
+                           blockmodel::BlockId from, blockmodel::BlockId to,
+                           const blockmodel::MoveScratch& scratch);
 
 }  // namespace hsbp::sbp

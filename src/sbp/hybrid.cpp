@@ -19,6 +19,7 @@ PhaseOutcome hybrid_phase(const Graph& graph, Blockmodel& b,
   double current_mdl = stats.initial_mdl;
   ConvergenceWindow window(settings.threshold);
   util::Rng& serial_rng = rngs.stream(0);
+  blockmodel::MoveScratch& scratch = blockmodel::thread_move_scratch();
 
   for (int pass = 0; pass < settings.max_iterations; ++pass) {
     // Alg. 4, first half: the influential high-degree vertices get a
@@ -29,7 +30,7 @@ PhaseOutcome hybrid_phase(const Graph& graph, Blockmodel& b,
       const auto result =
           evaluate_vertex(graph, b, fresh_view, v,
                           b.block_size(b.block_of(v)), settings.beta,
-                          serial_rng);
+                          serial_rng, scratch);
       ++stats.proposals;
       if (result.moved) {
         b.move_vertex(graph, v, result.to);

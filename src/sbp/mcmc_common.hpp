@@ -3,9 +3,10 @@
 /// propose/evaluate/accept step and the convergence window.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
-#include <deque>
 
 #include "blockmodel/blockmodel.hpp"
 #include "blockmodel/vertex_move_delta.hpp"
@@ -43,8 +44,10 @@ struct McmcPhaseStats {
 };
 
 /// One propose → ΔMDL → Hastings → accept step for vertex v, reading
-/// memberships through `view` (see gather_neighbor_blocks_view). Does
+/// memberships through `view` (see gather_neighbor_blocks_into). Does
 /// NOT apply the move; the phase decides how (in-place vs. deferred).
+/// All intermediate state lives in `scratch` (per-thread, reused), so
+/// the step allocates nothing after warm-up.
 ///
 /// `can_empty_block(from)` guard: moves that would empty their source
 /// block are rejected (the block count is owned by the merge phase).
@@ -53,48 +56,75 @@ VertexOutcome evaluate_vertex(const graph::Graph& graph,
                               const blockmodel::Blockmodel& b,
                               const View& view, graph::Vertex v,
                               std::int32_t source_block_size, double beta,
-                              util::Rng& rng) {
+                              util::Rng& rng,
+                              blockmodel::MoveScratch& scratch) {
   VertexOutcome outcome;
   const blockmodel::BlockId from = view(v);
   if (source_block_size <= 1) return outcome;  // would empty the block
 
-  const auto nb = blockmodel::gather_neighbor_blocks_view(graph, view, v);
-  const blockmodel::BlockId to = propose_block(b, nb, from, false, rng);
+  blockmodel::gather_neighbor_blocks_into(graph, view, v, scratch);
+  const blockmodel::BlockId to =
+      propose_block(b, scratch.nb, from, false, rng);
   if (to == from) return outcome;
 
-  const auto delta = blockmodel::vertex_move_delta(b, from, to, nb);
-  const double correction = hastings_correction(b, nb, from, to, delta);
+  blockmodel::vertex_move_delta_into(b, from, to, scratch.nb, scratch);
+  const double correction = hastings_correction(b, from, to, scratch);
   const double acceptance =
-      std::exp(-beta * delta.delta_mdl) * correction;
+      std::exp(-beta * scratch.delta.delta_mdl) * correction;
   if (acceptance >= 1.0 || rng.uniform() < acceptance) {
     outcome.moved = true;
     outcome.to = to;
-    outcome.delta_mdl = delta.delta_mdl;
+    outcome.delta_mdl = scratch.delta.delta_mdl;
   }
   return outcome;
 }
 
+/// Convenience overload using the calling thread's scratch arena.
+template <typename View>
+VertexOutcome evaluate_vertex(const graph::Graph& graph,
+                              const blockmodel::Blockmodel& b,
+                              const View& view, graph::Vertex v,
+                              std::int32_t source_block_size, double beta,
+                              util::Rng& rng) {
+  return evaluate_vertex(graph, b, view, v, source_block_size, beta, rng,
+                         blockmodel::thread_move_scratch());
+}
+
 /// The paper's early-stopping rule: stop when the summed |ΔMDL| of the
-/// last `window` passes drops below threshold × |MDL|.
+/// last `window` passes drops below threshold × |MDL|. Fixed-size ring
+/// buffer with a running sum — recording a pass is O(1) and the window
+/// never allocates (every variant touches it once per pass).
 class ConvergenceWindow {
  public:
   explicit ConvergenceWindow(double threshold, std::size_t window = 3)
-      : threshold_(threshold), window_(window) {}
+      : threshold_(threshold), window_(window) {
+    assert(window_ >= 1 && window_ <= kMaxWindow);
+  }
 
   /// Records one pass; returns true if the chain has converged.
   bool record(double pass_delta_mdl, double current_mdl) {
-    history_.push_back(std::fabs(pass_delta_mdl));
-    if (history_.size() > window_) history_.pop_front();
-    if (history_.size() < window_) return false;
-    double sum = 0.0;
-    for (const double d : history_) sum += d;
-    return sum < threshold_ * std::fabs(current_mdl);
+    const double value = std::fabs(pass_delta_mdl);
+    if (filled_ == window_) {
+      sum_ -= history_[head_];
+    } else {
+      ++filled_;
+    }
+    history_[head_] = value;
+    head_ = (head_ + 1) % window_;
+    sum_ += value;
+    if (filled_ < window_) return false;
+    return sum_ < threshold_ * std::fabs(current_mdl);
   }
 
  private:
+  static constexpr std::size_t kMaxWindow = 8;
+
   double threshold_;
   std::size_t window_;
-  std::deque<double> history_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  double sum_ = 0.0;
+  std::array<double, kMaxWindow> history_{};
 };
 
 }  // namespace hsbp::sbp

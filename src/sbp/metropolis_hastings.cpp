@@ -17,6 +17,7 @@ PhaseOutcome metropolis_hastings_phase(const Graph& graph, Blockmodel& b,
   double current_mdl = stats.initial_mdl;
   ConvergenceWindow window(settings.threshold);
   util::Rng& rng = rngs.stream(0);  // serial chain: one deterministic stream
+  blockmodel::MoveScratch& scratch = blockmodel::thread_move_scratch();
 
   const auto view = [&b](Vertex u) { return b.block_of(u); };
 
@@ -25,7 +26,7 @@ PhaseOutcome metropolis_hastings_phase(const Graph& graph, Blockmodel& b,
     for (Vertex v = 0; v < graph.num_vertices(); ++v) {
       const auto result =
           evaluate_vertex(graph, b, view, v, b.block_size(b.block_of(v)),
-                          settings.beta, rng);
+                          settings.beta, rng, scratch);
       ++stats.proposals;
       if (result.moved) {
         b.move_vertex(graph, v, result.to);

@@ -44,6 +44,7 @@ BlockId draw_neighbor_block(const NeighborBlockCounts& nb, BlockId current,
 /// Step 4: the block at the other end of a random edge incident on t,
 /// i.e. a draw from row t + column t of M. When excluding `current`
 /// (merges), its cells are skipped; returns current if nothing remains.
+/// The two slice sweeps run over the contiguous FlatSlice entry spans.
 BlockId draw_from_block_edges(const Blockmodel& b, BlockId t, BlockId current,
                               bool exclude_current, util::Rng& rng) {
   Count total = b.degree_total(t);
@@ -53,12 +54,12 @@ BlockId draw_from_block_edges(const Blockmodel& b, BlockId t, BlockId current,
   if (total <= 0) return current;
   auto draw = static_cast<Count>(
       rng.uniform_int(static_cast<std::uint64_t>(total)));
-  for (const auto& [block, count] : b.matrix().row(t)) {
+  for (const auto& [block, count] : b.matrix().row(t).entries()) {
     if (exclude_current && block == current) continue;
     draw -= count;
     if (draw < 0) return block;
   }
-  for (const auto& [block, count] : b.matrix().col(t)) {
+  for (const auto& [block, count] : b.matrix().col(t).entries()) {
     if (exclude_current && block == current) continue;
     draw -= count;
     if (draw < 0) return block;
@@ -97,21 +98,29 @@ BlockId propose_block(const Blockmodel& b, const NeighborBlockCounts& nb,
   return proposal;
 }
 
-NeighborBlockCounts block_neighbor_counts(const Blockmodel& b, BlockId c) {
-  NeighborBlockCounts nb;
-  for (const auto& [block, count] : b.matrix().row(c)) {
+void block_neighbor_counts_into(const Blockmodel& b, BlockId c,
+                                NeighborBlockCounts& nb) {
+  nb.out.clear();
+  nb.in.clear();
+  nb.self_loops = 0;
+  for (const auto& [block, count] : b.matrix().row(c).entries()) {
     if (block == c) {
       nb.self_loops += count;
     } else {
       nb.out.emplace_back(block, count);
     }
   }
-  for (const auto& [block, count] : b.matrix().col(c)) {
+  for (const auto& [block, count] : b.matrix().col(c).entries()) {
     if (block == c) continue;  // block self-loops counted once above
     nb.in.emplace_back(block, count);
   }
   nb.degree_out = b.degree_out(c);
   nb.degree_in = b.degree_in(c);
+}
+
+NeighborBlockCounts block_neighbor_counts(const Blockmodel& b, BlockId c) {
+  NeighborBlockCounts nb;
+  block_neighbor_counts_into(b, c, nb);
   return nb;
 }
 

@@ -34,7 +34,13 @@ blockmodel::BlockId propose_block(const blockmodel::Blockmodel& b,
 
 /// Neighbor-block counts of a *block* treated as a super-vertex: row c
 /// of M are its out-edges, column c its in-edges, M[c][c] its
-/// self-loops. Used by merge proposals.
+/// self-loops. Used by merge proposals. Writes into `nb`, reusing its
+/// buffers (one linear sweep over the contiguous row/column slices).
+void block_neighbor_counts_into(const blockmodel::Blockmodel& b,
+                                blockmodel::BlockId c,
+                                blockmodel::NeighborBlockCounts& nb);
+
+/// By-value wrapper over block_neighbor_counts_into.
 blockmodel::NeighborBlockCounts block_neighbor_counts(
     const blockmodel::Blockmodel& b, blockmodel::BlockId c);
 

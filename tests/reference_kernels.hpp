@@ -1,0 +1,281 @@
+/// \file reference_kernels.hpp
+/// \brief Pre-optimization transcriptions of the MCMC hot-path kernels,
+/// used only by the equivalence tests.
+///
+/// Each function here is the implementation that shipped before the
+/// allocation-free rewrite (scratch arenas, epoch-stamped dedup, xlogx
+/// table): allocate-per-call gather with O(k²) linear-scan accumulation,
+/// vertex_move_delta with linear-scan cell dedup and live std::log,
+/// MoveDelta::new_value via a cell-list scan, the Hastings correction on
+/// top of it, and merge_delta_mdl with live std::log. The optimized
+/// kernels must be *bit-identical* to these — that is the contract that
+/// makes the rewrite a pure performance change — so the tests compare
+/// results with ==, not EXPECT_NEAR.
+///
+/// Deliberately header-only: the reference code must not be linked into
+/// the library, only into test binaries.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "blockmodel/blockmodel.hpp"
+#include "blockmodel/mdl.hpp"
+#include "blockmodel/vertex_move_delta.hpp"
+#include "graph/graph.hpp"
+#include "sbp/mcmc_common.hpp"
+#include "sbp/proposal.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::reference {
+
+using blockmodel::BlockId;
+using blockmodel::Blockmodel;
+using blockmodel::CellDelta;
+using blockmodel::Count;
+using blockmodel::MoveDelta;
+using blockmodel::NeighborBlockCounts;
+
+/// Pre-table xlogx: live std::log on every call.
+inline double xlogx(double x) noexcept {
+  assert(x >= 0.0);
+  return x > 0.0 ? x * std::log(x) : 0.0;
+}
+
+/// Pre-arena gather: fresh vectors per call, O(k) linear scan per
+/// neighbor to find its block's slot (O(k²) worst case per vertex).
+template <typename View>
+NeighborBlockCounts gather_neighbor_blocks_view(const graph::Graph& graph,
+                                                const View& view,
+                                                graph::Vertex v) {
+  const auto accumulate = [](std::vector<std::pair<BlockId, Count>>& counts,
+                             BlockId block) {
+    for (auto& [b, c] : counts) {
+      if (b == block) {
+        ++c;
+        return;
+      }
+    }
+    counts.emplace_back(block, 1);
+  };
+
+  NeighborBlockCounts nb;
+  nb.degree_out = graph.out_degree(v);
+  nb.degree_in = graph.in_degree(v);
+  nb.out.reserve(8);
+  nb.in.reserve(8);
+  for (const graph::Vertex u : graph.out_neighbors(v)) {
+    if (u == v) {
+      ++nb.self_loops;
+      continue;
+    }
+    accumulate(nb.out, view(u));
+  }
+  for (const graph::Vertex u : graph.in_neighbors(v)) {
+    if (u == v) continue;  // counted once via the out pass
+    accumulate(nb.in, view(u));
+  }
+  return nb;
+}
+
+/// Pre-index post-move cell value: rescans the whole cell-delta list.
+inline Count new_value(const Blockmodel& b, const MoveDelta& delta,
+                       BlockId row, BlockId col) {
+  Count value = b.matrix().get(row, col);
+  for (const CellDelta& cd : delta.cell_deltas) {
+    if (cd.row == row && cd.col == col) value += cd.delta;
+  }
+  return value;
+}
+
+/// Pre-arena ΔMDL: fresh cell vector, linear-scan dedup, live logs.
+inline MoveDelta vertex_move_delta(const Blockmodel& b, BlockId from,
+                                   BlockId to,
+                                   const NeighborBlockCounts& nb) {
+  assert(from != to);
+  MoveDelta result;
+  auto& cells = result.cell_deltas;
+  cells.reserve(2 * (nb.out.size() + nb.in.size()) + 4);
+
+  const auto add_cell = [&cells](BlockId row, BlockId col, Count delta) {
+    for (CellDelta& cd : cells) {
+      if (cd.row == row && cd.col == col) {
+        cd.delta += delta;
+        return;
+      }
+    }
+    cells.push_back({row, col, delta});
+  };
+
+  // Out-edges v→u (u keeps its block t): (from,t) loses, (to,t) gains.
+  for (const auto& [t, k] : nb.out) {
+    add_cell(from, t, -k);
+    add_cell(to, t, +k);
+  }
+  // In-edges u→v: (t,from) loses, (t,to) gains.
+  for (const auto& [t, k] : nb.in) {
+    add_cell(t, from, -k);
+    add_cell(t, to, +k);
+  }
+  // Self-loops move diagonally.
+  if (nb.self_loops > 0) {
+    add_cell(from, from, -nb.self_loops);
+    add_cell(to, to, +nb.self_loops);
+  }
+
+  double delta_cells = 0.0;
+  for (const CellDelta& cd : cells) {
+    if (cd.delta == 0) continue;
+    const Count old_value = b.matrix().get(cd.row, cd.col);
+    const Count new_cell = old_value + cd.delta;
+    assert(new_cell >= 0);
+    delta_cells += xlogx(static_cast<double>(new_cell)) -
+                   xlogx(static_cast<double>(old_value));
+  }
+
+  const auto degree_delta = [](Count before_from, Count before_to, Count k) {
+    return xlogx(static_cast<double>(before_from - k)) -
+           xlogx(static_cast<double>(before_from)) +
+           xlogx(static_cast<double>(before_to + k)) -
+           xlogx(static_cast<double>(before_to));
+  };
+  const double delta_degrees =
+      degree_delta(b.degree_out(from), b.degree_out(to), nb.degree_out) +
+      degree_delta(b.degree_in(from), b.degree_in(to), nb.degree_in);
+
+  // ΔL = Δcells − Δdegrees; ΔMDL = −ΔL (model term unchanged).
+  result.delta_mdl = -(delta_cells - delta_degrees);
+  return result;
+}
+
+/// Pre-arena Hastings correction: per-cell lookups through the
+/// scanning new_value above.
+inline double hastings_correction(const Blockmodel& b,
+                                  const NeighborBlockCounts& nb, BlockId from,
+                                  BlockId to, const MoveDelta& delta) {
+  assert(from != to);
+  const double c = static_cast<double>(b.num_blocks());
+  const Count mover_degree = nb.degree_total();
+
+  double forward = 0.0;
+  double backward = 0.0;
+
+  const auto accumulate = [&](BlockId t, Count k) {
+    const double kd = static_cast<double>(k);
+
+    // Forward: pre-move matrix and degrees.
+    const double fwd_num = static_cast<double>(b.matrix().get(t, to) +
+                                               b.matrix().get(to, t)) +
+                           1.0;
+    const double fwd_den = static_cast<double>(b.degree_total(t)) + c;
+    forward += kd * fwd_num / fwd_den;
+
+    // Backward: post-move matrix and degrees (only from/to degrees move).
+    const double bwd_num = static_cast<double>(new_value(b, delta, t, from) +
+                                               new_value(b, delta, from, t)) +
+                           1.0;
+    Count d_t = b.degree_total(t);
+    if (t == from) d_t -= mover_degree;
+    if (t == to) d_t += mover_degree;
+    const double bwd_den = static_cast<double>(d_t) + c;
+    backward += kd * bwd_num / bwd_den;
+  };
+
+  for (const auto& [t, k] : nb.out) accumulate(t, k);
+  for (const auto& [t, k] : nb.in) accumulate(t, k);
+
+  if (forward <= 0.0) return 1.0;  // isolated vertex: symmetric proposal
+  return backward / forward;
+}
+
+/// Pre-table merge ΔMDL: live std::log on every term.
+inline double merge_delta_mdl(const Blockmodel& b, BlockId from, BlockId to,
+                              graph::Vertex num_vertices,
+                              graph::EdgeCount num_edges) {
+  assert(from != to);
+  const blockmodel::DictTransposeMatrix& m = b.matrix();
+
+  double delta_cells = 0.0;
+
+  // Off-corner cells of row `from` fold into row `to`.
+  for (const auto& [t, value] : m.row(from)) {
+    if (t == from || t == to) continue;
+    const Count existing = m.get(to, t);
+    delta_cells += xlogx(static_cast<double>(existing + value)) -
+                   xlogx(static_cast<double>(existing)) -
+                   xlogx(static_cast<double>(value));
+  }
+  // Off-corner cells of column `from` fold into column `to`.
+  for (const auto& [t, value] : m.col(from)) {
+    if (t == from || t == to) continue;
+    const Count existing = m.get(t, to);
+    delta_cells += xlogx(static_cast<double>(existing + value)) -
+                   xlogx(static_cast<double>(existing)) -
+                   xlogx(static_cast<double>(value));
+  }
+  // The four corner cells collapse into (to, to).
+  const Count ff = m.get(from, from);
+  const Count ft = m.get(from, to);
+  const Count tf = m.get(to, from);
+  const Count tt = m.get(to, to);
+  delta_cells += xlogx(static_cast<double>(tt + ff + ft + tf)) -
+                 xlogx(static_cast<double>(tt)) -
+                 xlogx(static_cast<double>(ff)) -
+                 xlogx(static_cast<double>(ft)) -
+                 xlogx(static_cast<double>(tf));
+
+  // Degree terms: d(to) absorbs d(from).
+  const auto merge_degrees = [](Count a, Count into) {
+    return xlogx(static_cast<double>(into + a)) -
+           xlogx(static_cast<double>(into)) - xlogx(static_cast<double>(a));
+  };
+  const double delta_degrees =
+      merge_degrees(b.degree_out(from), b.degree_out(to)) +
+      merge_degrees(b.degree_in(from), b.degree_in(to));
+
+  const double delta_likelihood = delta_cells - delta_degrees;
+
+  const double delta_model =
+      blockmodel::model_description_length(num_vertices, num_edges,
+                                           b.num_blocks() - 1) -
+      blockmodel::model_description_length(num_vertices, num_edges,
+                                           b.num_blocks());
+
+  return delta_model - delta_likelihood;
+}
+
+/// Pre-arena evaluate_vertex, for whole-chain equivalence: the proposal
+/// step is the shared production code (it draws from the RNG), so RNG
+/// consumption matches the optimized path exactly as long as ΔMDL and
+/// the correction are bit-identical.
+template <typename View>
+sbp::VertexOutcome evaluate_vertex(const graph::Graph& graph,
+                                   const Blockmodel& b, const View& view,
+                                   graph::Vertex v,
+                                   std::int32_t source_block_size, double beta,
+                                   util::Rng& rng) {
+  sbp::VertexOutcome outcome;
+  const BlockId from = view(v);
+  if (source_block_size <= 1) return outcome;  // would empty the block
+
+  const NeighborBlockCounts nb =
+      reference::gather_neighbor_blocks_view(graph, view, v);
+  const BlockId to = sbp::propose_block(b, nb, from, false, rng);
+  if (to == from) return outcome;
+
+  const MoveDelta delta = reference::vertex_move_delta(b, from, to, nb);
+  const double correction =
+      reference::hastings_correction(b, nb, from, to, delta);
+  const double acceptance = std::exp(-beta * delta.delta_mdl) * correction;
+  if (acceptance >= 1.0 || rng.uniform() < acceptance) {
+    outcome.moved = true;
+    outcome.to = to;
+    outcome.delta_mdl = delta.delta_mdl;
+  }
+  return outcome;
+}
+
+}  // namespace hsbp::reference

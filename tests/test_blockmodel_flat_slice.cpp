@@ -1,0 +1,130 @@
+/// FlatSlice differential tests: the open-addressing small-map must
+/// behave exactly like a std::unordered_map<BlockId, Count> with
+/// erase-on-zero semantics, across the inline→indexed transition, grow,
+/// and backward-shift deletion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "blockmodel/flat_slice.hpp"
+#include "util/rng.hpp"
+
+namespace hsbp::blockmodel {
+namespace {
+
+void expect_matches(const FlatSlice& slice,
+                    const std::unordered_map<BlockId, Count>& model,
+                    BlockId key_range) {
+  ASSERT_EQ(slice.size(), model.size());
+  ASSERT_EQ(slice.empty(), model.empty());
+  // Every key in [0, key_range) agrees, present or absent.
+  for (BlockId k = 0; k < key_range; ++k) {
+    const auto it = model.find(k);
+    EXPECT_EQ(slice.get(k), it == model.end() ? 0 : it->second) << "key " << k;
+  }
+  // Iteration yields exactly the model's entries (order-free), and the
+  // entries() span is the same sequence as begin()/end().
+  std::unordered_map<BlockId, Count> seen;
+  for (const auto& [key, value] : slice) {
+    EXPECT_TRUE(seen.emplace(key, value).second) << "duplicate key " << key;
+    EXPECT_NE(value, 0) << "zero entry surfaced for key " << key;
+  }
+  EXPECT_EQ(seen, model);
+  EXPECT_EQ(slice.entries().size(), slice.size());
+}
+
+TEST(FlatSlice, BasicAddGetErase) {
+  FlatSlice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.get(3), 0);
+
+  EXPECT_EQ(s.add(3, 2), +1);   // created
+  EXPECT_EQ(s.add(3, 5), 0);    // updated
+  EXPECT_EQ(s.get(3), 7);
+  EXPECT_EQ(s.at(3), 7);
+  EXPECT_EQ(s.add(3, -7), -1);  // erased on zero
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.get(3), 0);
+  EXPECT_THROW((void)s.at(3), std::out_of_range);
+}
+
+TEST(FlatSlice, InlineToIndexedTransitionPreservesEntries) {
+  FlatSlice s;
+  std::unordered_map<BlockId, Count> model;
+  // Fill well past any plausible inline capacity.
+  for (BlockId k = 0; k < 64; ++k) {
+    EXPECT_EQ(s.add(k * 3, k + 1), +1);
+    model[k * 3] = k + 1;
+    expect_matches(s, model, 64 * 3 + 1);
+  }
+  EXPECT_TRUE(s.indexed());
+}
+
+TEST(FlatSlice, EraseUnderProbeChains) {
+  // Keys chosen in a narrow range force probe-chain collisions; deleting
+  // from the middle of chains exercises backward-shift deletion.
+  FlatSlice s;
+  std::unordered_map<BlockId, Count> model;
+  for (BlockId k = 0; k < 40; ++k) {
+    s.add(k, 1);
+    model[k] = 1;
+  }
+  for (BlockId k = 0; k < 40; k += 2) {
+    EXPECT_EQ(s.add(k, -1), -1);
+    model.erase(k);
+    expect_matches(s, model, 41);
+  }
+  // Reinsert into the holes.
+  for (BlockId k = 0; k < 40; k += 2) {
+    EXPECT_EQ(s.add(k, 5), +1);
+    model[k] = 5;
+  }
+  expect_matches(s, model, 41);
+}
+
+class FlatSliceRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatSliceRandomized, MatchesUnorderedMapUnderRandomOps) {
+  util::Rng rng(GetParam());
+  FlatSlice s;
+  std::unordered_map<BlockId, Count> model;
+  // Key range shifts over time so the slice both grows and drains.
+  for (int op = 0; op < 4000; ++op) {
+    const BlockId key_range = op < 2000 ? 96 : 16;
+    const auto key = static_cast<BlockId>(
+        rng.uniform_int(static_cast<std::uint64_t>(key_range)));
+    const auto it = model.find(key);
+    const Count current = it == model.end() ? 0 : it->second;
+    Count delta;
+    if (current > 0 && rng.uniform() < 0.45) {
+      // Decrement, sometimes all the way to zero (erase).
+      delta = rng.uniform() < 0.5 ? -current
+                                  : -static_cast<Count>(rng.uniform_int(
+                                        static_cast<std::uint64_t>(current)));
+      if (delta == 0) delta = -current;
+    } else {
+      delta = static_cast<Count>(1 + rng.uniform_int(4));
+    }
+
+    const int expected = current == 0 ? +1 : (current + delta == 0 ? -1 : 0);
+    EXPECT_EQ(s.add(key, delta), expected);
+    if (current + delta == 0) {
+      model.erase(key);
+    } else {
+      model[key] = current + delta;
+    }
+
+    if (op % 97 == 0) expect_matches(s, model, 97);
+  }
+  expect_matches(s, model, 97);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatSliceRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hsbp::blockmodel
