@@ -7,6 +7,11 @@
 /// calls out rebuild cost and data-structure choice explicitly.
 #include <benchmark/benchmark.h>
 
+#include <omp.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "blockmodel/blockmodel.hpp"
@@ -14,10 +19,12 @@
 #include "blockmodel/mdl.hpp"
 #include "blockmodel/merge_delta.hpp"
 #include "blockmodel/vertex_move_delta.hpp"
+#include "blockmodel/xlogx_table.hpp"
 #include "generator/dcsbm.hpp"
 #include "sbp/async_pass.hpp"
 #include "sbp/hastings.hpp"
 #include "sbp/mcmc_common.hpp"
+#include "sbp/mcmc_phases.hpp"
 #include "sbp/proposal.hpp"
 #include "util/rng.hpp"
 
@@ -209,12 +216,11 @@ void BM_AsyncPass(benchmark::State& state) {
   hsbp::util::RngPool rngs(11, 8);
   std::vector<Vertex> vertices(2000);
   for (Vertex v = 0; v < 2000; ++v) vertices[static_cast<std::size_t>(v)] = v;
+  hsbp::sbp::detail::PassWorkspace ws;
   for (auto _ : state) {
-    auto shared =
-        hsbp::sbp::detail::make_atomic_assignment(f.blockmodel.assignment());
-    auto sizes = hsbp::sbp::detail::make_atomic_sizes(f.blockmodel);
+    ws.reset(f.blockmodel);
     benchmark::DoNotOptimize(hsbp::sbp::detail::async_pass(
-        f.generated.graph, f.blockmodel, shared, sizes, vertices, 3.0, rngs));
+        f.generated.graph, f.blockmodel, ws, vertices, 3.0, rngs));
   }
   state.SetItemsProcessed(state.iterations() * 2000);
 }
@@ -265,6 +271,141 @@ void BM_IdentityBlockmodel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IdentityBlockmodel);
+
+// ---- pass-overhead benches (DESIGN §11): what it costs to carry the
+// blockmodel from pass N to pass N+1, as a function of how much the
+// pass moved. DeltaApply is the move-log path plus the now-O(1) MDL;
+// ShardedRebuild is the adaptive fallback (sharded build + O(1) MDL);
+// SerialMergeRebuild transcribes the previous per-pass overhead — the
+// serial unordered_map merge plus the O(nnz) floating-point MDL rescan
+// — so the before/after is measurable inside one tree. The Arg is the
+// number of moved vertices per 1000 (permille of V).
+
+void BM_PassOverhead_DeltaApply(benchmark::State& state) {
+  auto f = Fixture(2000, 16, 20000);  // private copy: we mutate it
+  const auto moved = static_cast<Vertex>(2000 * state.range(0) / 1000);
+  // Synthesize a pass diff: `moved` vertices hop to the next block.
+  // Forward-apply the log plus the MDL read, then roll back (excluded
+  // work is symmetric) so every iteration applies the same diff.
+  std::vector<std::pair<Vertex, BlockId>> log;
+  log.reserve(static_cast<std::size_t>(moved));
+  for (Vertex v = 0; v < moved; ++v) {
+    log.emplace_back(v, f.blockmodel.block_of(v));
+  }
+  for (auto _ : state) {
+    for (const auto& [v, from] : log) {
+      f.blockmodel.move_vertex(f.generated.graph, v,
+                               static_cast<BlockId>((from + 1) % 16));
+    }
+    benchmark::DoNotOptimize(
+        hsbp::blockmodel::mdl(f.blockmodel, f.generated.graph.num_vertices(),
+                              f.generated.graph.num_edges()));
+    for (auto it = log.rbegin(); it != log.rend(); ++it) {
+      f.blockmodel.move_vertex(f.generated.graph, it->first, it->second);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * std::max<Vertex>(moved, 1));
+}
+BENCHMARK(BM_PassOverhead_DeltaApply)->Arg(1)->Arg(10)->Arg(100)->Arg(300);
+
+void BM_PassOverhead_ShardedRebuild(benchmark::State& state) {
+  auto f = Fixture(2000, 16, 20000);  // private copy: rebuild mutates it
+  const auto assignment = f.blockmodel.copy_assignment();
+  for (auto _ : state) {
+    f.blockmodel.rebuild(f.generated.graph, assignment);
+    benchmark::DoNotOptimize(
+        hsbp::blockmodel::mdl(f.blockmodel, f.generated.graph.num_vertices(),
+                              f.generated.graph.num_edges()));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_PassOverhead_ShardedRebuild);
+
+void BM_PassOverhead_SerialMergeRebuild(benchmark::State& state) {
+  auto& f = fixture();
+  const auto& graph = f.generated.graph;
+  const auto assignment = f.blockmodel.copy_assignment();
+  const Vertex v_count = graph.num_vertices();
+  const auto threads = static_cast<std::size_t>(omp_get_max_threads());
+  using hsbp::blockmodel::Count;
+  for (auto _ : state) {
+    // Previous build_from: per-thread (row<<32 | col) hash maps merged
+    // serially into the shared matrix, then serial degree sums.
+    std::vector<std::unordered_map<std::uint64_t, Count>> locals(threads);
+#pragma omp parallel
+    {
+      auto& local = locals[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+      for (Vertex v = 0; v < v_count; ++v) {
+        const auto src = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+            assignment[static_cast<std::size_t>(v)]));
+        for (const Vertex target : graph.out_neighbors(v)) {
+          const auto dst = static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(
+                  assignment[static_cast<std::size_t>(target)]));
+          ++local[(src << 32) | dst];
+        }
+      }
+    }
+    hsbp::blockmodel::DictTransposeMatrix m(16);
+    for (const auto& local : locals) {
+      for (const auto& [key, count] : local) {
+        m.add(static_cast<BlockId>(key >> 32),
+              static_cast<BlockId>(key & 0xffffffffULL), count);
+      }
+    }
+    std::vector<Count> d_out(16, 0);
+    std::vector<Count> d_in(16, 0);
+    for (BlockId r = 0; r < 16; ++r) {
+      for (const auto& [col, count] : m.row(r)) {
+        (void)col;
+        d_out[static_cast<std::size_t>(r)] += count;
+      }
+      for (const auto& [row, count] : m.col(r)) {
+        (void)row;
+        d_in[static_cast<std::size_t>(r)] += count;
+      }
+    }
+    // Previous MDL: O(nnz) floating-point rescan of the whole matrix.
+    double cell_term = 0.0;
+    double degree_term = 0.0;
+    for (BlockId r = 0; r < 16; ++r) {
+      for (const auto& [col, count] : m.row(r)) {
+        (void)col;
+        cell_term += hsbp::blockmodel::xlogx_count(count);
+      }
+      degree_term +=
+          hsbp::blockmodel::xlogx_count(d_out[static_cast<std::size_t>(r)]);
+      degree_term +=
+          hsbp::blockmodel::xlogx_count(d_in[static_cast<std::size_t>(r)]);
+    }
+    benchmark::DoNotOptimize(cell_term - degree_term);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_PassOverhead_SerialMergeRebuild);
+
+// ---- end-to-end MCMC phase: passes include the per-pass maintenance,
+// so this is where the delta-apply change shows up at the granularity
+// the paper's figure 2 measures. threshold = 0 disables convergence so
+// the Arg is exactly the number of passes run.
+
+void BM_AsyncGibbsPhase(benchmark::State& state) {
+  auto& f = fixture();
+  hsbp::util::RngPool rngs(13, 8);
+  hsbp::sbp::McmcSettings settings;
+  settings.beta = 3.0;
+  settings.threshold = 0.0;
+  settings.max_iterations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Blockmodel b = f.blockmodel;  // each iteration restarts the chain
+    const auto outcome =
+        hsbp::sbp::async_gibbs_phase(f.generated.graph, b, settings, rngs);
+    benchmark::DoNotOptimize(outcome.stats.accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2000);
+}
+BENCHMARK(BM_AsyncGibbsPhase)->Arg(2)->Arg(8);
 
 // ---- sparse vs dense backend (paper future work: reconstruction-
 // friendly data structures). The dense backend's add() is a single

@@ -4,20 +4,37 @@
 /// The paper reports the MCMC phase at up to 98% of total runtime — the
 /// observation motivating the whole work.
 #include <iostream>
+#include <stdexcept>
+#include <string>
 
 #include "bench_common.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// `--algorithm` names match the CLI's: sbp, asbp, hsbp, bsbp.
+hsbp::sbp::Variant parse_variant(const std::string& name) {
+  if (name == "sbp") return hsbp::sbp::Variant::Metropolis;
+  if (name == "asbp") return hsbp::sbp::Variant::AsyncGibbs;
+  if (name == "hsbp") return hsbp::sbp::Variant::Hybrid;
+  if (name == "bsbp") return hsbp::sbp::Variant::BatchedGibbs;
+  throw std::invalid_argument("unknown algorithm '" + name + "'");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto options = hsbp::bench::parse_options(argc, argv, 0.003, 1);
+  const auto variant = parse_variant(
+      hsbp::util::Args(argc, argv).get_string("algorithm", "sbp"));
   hsbp::eval::print_banner(
       "Fig. 2: SBP execution-time breakdown on synthetic graphs",
       options.scale, options.runs, std::cout);
 
   const auto entries =
       hsbp::generator::synthetic_suite(options.scale, options.seed);
-  const auto rows = hsbp::bench::run_suite(
-      entries, {hsbp::sbp::Variant::Metropolis}, options);
+  const auto rows = hsbp::bench::run_suite(entries, {variant}, options);
 
   hsbp::util::Table table(
       {"ID", "mcmc_s", "merge+other_s", "mcmc_pct", "merge+other_pct"});

@@ -46,14 +46,18 @@ after = {b["name"]: b["real_time"]
          if b.get("run_type", "iteration") == "iteration"}
 
 before = {}
+carried = {}  # hand-maintained keys (e.g. "end_to_end") survive rewrites
 before_src = os.environ.get("HSBP_BENCH_BEFORE", "")
+if os.path.exists(out_path):
+    previous = json.load(open(out_path))
+    carried = {k: v for k, v in previous.items()
+               if k not in ("commit", "min_time_s", "baseline", "kernels")}
+    if not before_src:
+        before = {k: v["after_ns"] for k, v in previous["kernels"].items()}
 if before_src:
     before = {b["name"]: b["real_time"]
               for b in json.load(open(before_src))["benchmarks"]
               if b.get("run_type", "iteration") == "iteration"}
-elif os.path.exists(out_path):
-    before = {k: v["after_ns"]
-              for k, v in json.load(open(out_path))["kernels"].items()}
 
 commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                         capture_output=True, text=True).stdout.strip()
@@ -72,6 +76,7 @@ doc = {
     "baseline": before_src or (out_path if before else None),
     "kernels": kernels,
 }
+doc.update(carried)
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=False)
     f.write("\n")

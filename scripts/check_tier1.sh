@@ -12,6 +12,14 @@
 #   HSBP_SKIP_FAULT   set to 1 to skip the extra sanitized fault-test
 #                     stage (it is also skipped when HSBP_SANITIZE is
 #                     set, since the whole suite is sanitized then)
+#   HSBP_SKIP_TSAN    set to 1 to skip the thread-sanitized pass over
+#                     the async/hybrid-labelled parallel suites (also
+#                     skipped when HSBP_SANITIZE is set — TSan cannot
+#                     combine with the address/leak runtimes)
+#   HSBP_TSAN_THREADS OpenMP thread count for the TSan stage (default
+#                     4: races need real concurrency even on single-CPU
+#                     machines, where OpenMP would otherwise run one
+#                     thread and TSan would have nothing to observe)
 #   HSBP_JOBS         build/test parallelism (default: nproc; a bare
 #                     `-j` spawns every job at once and thrashes small
 #                     machines)
@@ -45,7 +53,21 @@ if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_FAULT:-0}" != "1" ]]; then
   (cd "$FAULT_DIR" && ctest --output-on-failure -j "$JOBS" -L fault)
 fi
 
-# Stage 3 (opt-in): bench smoke — every kernel bench must still build
+# Stage 3: rebuild the async/hybrid-labelled parallel suites under
+# TSan — the single-writer-per-vertex/move-log protocol (DESIGN §11)
+# is exactly the kind of claim only a thread sanitizer can audit. Runs
+# with a fixed OpenMP thread count so single-CPU machines still get
+# real interleavings.
+if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_TSAN:-0}" != "1" ]]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DHSBP_SANITIZE=thread
+  cmake --build "$TSAN_DIR" -j "$JOBS"
+  (cd "$TSAN_DIR" &&
+   OMP_NUM_THREADS="${HSBP_TSAN_THREADS:-4}" \
+     ctest --output-on-failure -j "$JOBS" -L async)
+fi
+
+# Stage 4 (opt-in): bench smoke — every kernel bench must still build
 # and complete. Short min_time on purpose: this guards against bit-rot
 # in the bench harness, not performance (see scripts/bench_kernels.sh).
 # Note the bare-number min_time: older google-benchmark releases reject

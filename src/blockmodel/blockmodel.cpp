@@ -7,6 +7,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "util/omp_region.hpp"
+
 namespace hsbp::blockmodel {
 
 using graph::Graph;
@@ -51,55 +53,117 @@ void Blockmodel::build_from(const Graph& graph) {
   d_out_.assign(blocks, 0);
   d_in_.assign(blocks, 0);
   block_sizes_.assign(blocks, 0);
+  ll_cells_ = 0;
+  ll_degrees_ = 0;
 
   for (const std::int32_t label : assignment_) {
     ++block_sizes_[static_cast<std::size_t>(label)];
   }
 
-  // Parallel accumulation: each thread gathers (block pair → count) into
-  // a local flat map over its vertex range, then maps merge serially
-  // into the shared matrix (merge cost is O(distinct pairs), far below
-  // O(E) once blocks are coarse).
+  // Sharded parallel accumulation (DESIGN §11): phase A gathers each
+  // thread's (block pair → count) maps bucketed by row owner
+  // (shard = row mod S); phase B merges each row shard into the matrix
+  // rows — no two shards share a row, so no locks — accumulating d_out_
+  // in the same sweep and re-emitting the merged cells bucketed by
+  // column owner; phase C merges those into the column slices,
+  // accumulating d_in_. The likelihood partials are per-shard
+  // fixed-point integers, so the serial reduction at the end is
+  // order-independent and the result is bit-identical to the
+  // incrementally maintained sums.
   const Vertex v_count = graph.num_vertices();
   const int threads = omp_get_max_threads();
-  std::vector<std::unordered_map<std::uint64_t, Count>> locals(
-      static_cast<std::size_t>(threads));
+  const auto shards = static_cast<std::size_t>(threads);
 
-#pragma omp parallel
-  {
+  std::vector<std::vector<std::unordered_map<std::uint64_t, Count>>> locals(
+      shards, std::vector<std::unordered_map<std::uint64_t, Count>>(shards));
+
+  struct ColCell {
+    BlockId row;
+    BlockId col;
+    Count value;
+  };
+  std::vector<std::vector<std::vector<ColCell>>> col_cells(
+      shards, std::vector<std::vector<ColCell>>(shards));
+
+  struct ShardTotals {
+    Count total = 0;
+    std::int64_t nnz = 0;
+    LlFixed ll_cells = 0;
+    LlFixed ll_degrees = 0;
+  };
+  std::vector<ShardTotals> totals(shards);
+
+  util::omp_region([&] {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     auto& local = locals[tid];
-#pragma omp for schedule(static)
+#pragma omp for schedule(static) nowait
     for (Vertex v = 0; v < v_count; ++v) {
       const auto src_block = static_cast<std::uint64_t>(
           static_cast<std::uint32_t>(assignment_[static_cast<std::size_t>(v)]));
+      auto& bucket = local[static_cast<std::size_t>(src_block) % shards];
       for (const Vertex target : graph.out_neighbors(v)) {
         const auto dst_block = static_cast<std::uint64_t>(
             static_cast<std::uint32_t>(
                 assignment_[static_cast<std::size_t>(target)]));
-        ++local[(src_block << 32) | dst_block];
+        ++bucket[(src_block << 32) | dst_block];
       }
     }
-  }
+    util::omp_region_barrier();  // phase A maps → phase B merge
 
-  for (const auto& local : locals) {
-    for (const auto& [key, count] : local) {
-      const auto row = static_cast<BlockId>(key >> 32);
-      const auto col = static_cast<BlockId>(key & 0xffffffffULL);
-      m_.add(row, col, count);
+#pragma omp for schedule(static, 1) nowait
+    for (std::int64_t s = 0; s < static_cast<std::int64_t>(shards); ++s) {
+      ShardTotals& t = totals[static_cast<std::size_t>(s)];
+      for (std::size_t src = 0; src < shards; ++src) {
+        for (const auto& [key, count] :
+             locals[src][static_cast<std::size_t>(s)]) {
+          const auto row = static_cast<BlockId>(key >> 32);
+          const auto col = static_cast<BlockId>(key & 0xffffffffULL);
+          t.nnz += m_.bulk_row(row).add(col, count);
+          d_out_[static_cast<std::size_t>(row)] += count;
+          t.total += count;
+        }
+      }
+      // Owned rows are final here: fold their cells into the likelihood
+      // partial and re-bucket them by column owner for phase C.
+      auto& out_buckets = col_cells[static_cast<std::size_t>(s)];
+      for (auto r = static_cast<BlockId>(s); r < num_blocks_;
+           r += static_cast<BlockId>(shards)) {
+        for (const auto& [col, value] : m_.bulk_row(r)) {
+          t.ll_cells += xlogx_fixed(value);
+          out_buckets[static_cast<std::size_t>(col) % shards].push_back(
+              {r, col, value});
+        }
+        t.ll_degrees += xlogx_fixed(d_out_[static_cast<std::size_t>(r)]);
+      }
     }
-  }
+    util::omp_region_barrier();  // phase B cells → phase C columns
 
-  for (BlockId r = 0; r < num_blocks_; ++r) {
-    for (const auto& [col, count] : m_.row(r)) {
-      (void)col;
-      d_out_[static_cast<std::size_t>(r)] += count;
+#pragma omp for schedule(static, 1) nowait
+    for (std::int64_t s = 0; s < static_cast<std::int64_t>(shards); ++s) {
+      ShardTotals& t = totals[static_cast<std::size_t>(s)];
+      for (std::size_t src = 0; src < shards; ++src) {
+        for (const ColCell& cell :
+             col_cells[src][static_cast<std::size_t>(s)]) {
+          m_.bulk_col(cell.col).add(cell.row, cell.value);
+          d_in_[static_cast<std::size_t>(cell.col)] += cell.value;
+        }
+      }
+      for (auto c = static_cast<BlockId>(s); c < num_blocks_;
+           c += static_cast<BlockId>(shards)) {
+        t.ll_degrees += xlogx_fixed(d_in_[static_cast<std::size_t>(c)]);
+      }
     }
-    for (const auto& [row, count] : m_.col(r)) {
-      (void)row;
-      d_in_[static_cast<std::size_t>(r)] += count;
-    }
+  });
+
+  Count total = 0;
+  std::int64_t nnz = 0;
+  for (const ShardTotals& t : totals) {
+    total += t.total;
+    nnz += t.nnz;
+    ll_cells_ += t.ll_cells;
+    ll_degrees_ += t.ll_degrees;
   }
+  m_.set_bulk_counters(total, static_cast<std::size_t>(nnz));
 }
 
 void Blockmodel::move_vertex(const Graph& graph, Vertex v, BlockId to) {
@@ -109,32 +173,42 @@ void Blockmodel::move_vertex(const Graph& graph, Vertex v, BlockId to) {
 
   // Each edge incident on v is touched exactly once: out-edges cover the
   // self-loop case (v, v); in-edges skip u == v to avoid double counting.
+  // add_cell keeps the Σ xlogx(M_rs) fixed-point sum in step with every
+  // cell change.
   for (const Vertex u : graph.out_neighbors(v)) {
     const BlockId ub = (u == v) ? from : assignment_[static_cast<std::size_t>(u)];
-    m_.add(from, ub, -1);
+    add_cell(from, ub, -1);
   }
   for (const Vertex u : graph.in_neighbors(v)) {
     if (u == v) continue;
-    m_.add(assignment_[static_cast<std::size_t>(u)], from, -1);
+    add_cell(assignment_[static_cast<std::size_t>(u)], from, -1);
   }
 
   assignment_[static_cast<std::size_t>(v)] = to;
 
   for (const Vertex u : graph.out_neighbors(v)) {
     const BlockId ub = (u == v) ? to : assignment_[static_cast<std::size_t>(u)];
-    m_.add(to, ub, +1);
+    add_cell(to, ub, +1);
   }
   for (const Vertex u : graph.in_neighbors(v)) {
     if (u == v) continue;
-    m_.add(assignment_[static_cast<std::size_t>(u)], to, +1);
+    add_cell(assignment_[static_cast<std::size_t>(u)], to, +1);
   }
 
   const Count out_deg = graph.out_degree(v);
   const Count in_deg = graph.in_degree(v);
+  ll_degrees_ -= xlogx_fixed(d_out_[static_cast<std::size_t>(from)]) +
+                 xlogx_fixed(d_out_[static_cast<std::size_t>(to)]) +
+                 xlogx_fixed(d_in_[static_cast<std::size_t>(from)]) +
+                 xlogx_fixed(d_in_[static_cast<std::size_t>(to)]);
   d_out_[static_cast<std::size_t>(from)] -= out_deg;
   d_out_[static_cast<std::size_t>(to)] += out_deg;
   d_in_[static_cast<std::size_t>(from)] -= in_deg;
   d_in_[static_cast<std::size_t>(to)] += in_deg;
+  ll_degrees_ += xlogx_fixed(d_out_[static_cast<std::size_t>(from)]) +
+                 xlogx_fixed(d_out_[static_cast<std::size_t>(to)]) +
+                 xlogx_fixed(d_in_[static_cast<std::size_t>(from)]) +
+                 xlogx_fixed(d_in_[static_cast<std::size_t>(to)]);
   --block_sizes_[static_cast<std::size_t>(from)];
   ++block_sizes_[static_cast<std::size_t>(to)];
 }
@@ -150,6 +224,11 @@ bool Blockmodel::check_consistency(const Graph& graph) const {
   if (!m_.check_consistency()) return false;
   Blockmodel fresh = from_assignment(graph, assignment_, num_blocks_);
   if (fresh.m_.total() != m_.total()) return false;
+  // The maintained fixed-point likelihood sums must equal a from-scratch
+  // rebuild's exactly (integer addition is order-independent).
+  if (fresh.ll_cells_ != ll_cells_ || fresh.ll_degrees_ != ll_degrees_) {
+    return false;
+  }
   for (BlockId r = 0; r < num_blocks_; ++r) {
     if (fresh.d_out_[static_cast<std::size_t>(r)] !=
             d_out_[static_cast<std::size_t>(r)] ||

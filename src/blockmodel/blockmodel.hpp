@@ -8,9 +8,17 @@
 ///
 /// Two update paths mirror the paper's algorithms:
 ///   - move_vertex(): in-place O(deg(v)) update, used by serial
-///     Metropolis-Hastings (Alg. 2) and H-SBP's synchronous pass (Alg. 4);
-///   - from_assignment() / rebuild(): full (parallel) reconstruction from
-///     a membership vector, used after every A-SBP pass (Alg. 3).
+///     Metropolis-Hastings (Alg. 2), H-SBP's synchronous pass (Alg. 4),
+///     and the post-pass move-log delta application (DESIGN §11);
+///   - from_assignment() / rebuild(): full reconstruction from a
+///     membership vector via a row/column-owner-sharded parallel merge,
+///     used at initialization, merge boundaries, and the adaptive
+///     fallback when a pass moved too much degree mass for deltas to win.
+///
+/// Both paths also maintain the log-likelihood term of the MDL as a
+/// pair of order-independent fixed-point sums (Σ xlogx(M_rs) and
+/// Σ xlogx(d_out) + xlogx(d_in), see xlogx_table.hpp), so mdl() is O(1)
+/// and bit-identical no matter which path produced the state.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +26,7 @@
 #include <vector>
 
 #include "blockmodel/dict_transpose_matrix.hpp"
+#include "blockmodel/xlogx_table.hpp"
 #include "graph/graph.hpp"
 
 namespace hsbp::blockmodel {
@@ -72,12 +81,26 @@ class Blockmodel {
   /// Deep-copies the membership vector (the A-SBP working copy).
   std::vector<std::int32_t> copy_assignment() const { return assignment_; }
 
+  /// Log-likelihood term L(G|B) (mdl.hpp Eq. 1) decoded from the
+  /// incrementally maintained fixed-point sums — O(1). Exactly equal to
+  /// an O(nnz) rescan (log_likelihood_rescan) because both accumulate
+  /// the same quantized integer terms.
+  double log_likelihood() const noexcept {
+    return ll_fixed_to_double(ll_cells_ - ll_degrees_);
+  }
+
   /// Full structural invariant check (matrix mirror, degree totals,
-  /// sizes); O(E + nnz). For tests.
+  /// sizes, fixed-point likelihood sums); O(E + nnz). For tests.
   bool check_consistency(const graph::Graph& graph) const;
 
  private:
   void build_from(const graph::Graph& graph);
+
+  /// m_.add plus maintenance of the Σ xlogx(M_rs) fixed-point sum.
+  void add_cell(BlockId row, BlockId col, Count delta) {
+    const Count value = m_.add(row, col, delta);
+    ll_cells_ += xlogx_fixed(value) - xlogx_fixed(value - delta);
+  }
 
   BlockId num_blocks_ = 0;
   std::vector<std::int32_t> assignment_;
@@ -85,6 +108,8 @@ class Blockmodel {
   std::vector<Count> d_out_;
   std::vector<Count> d_in_;
   std::vector<std::int32_t> block_sizes_;
+  LlFixed ll_cells_ = 0;    ///< Σ_{r,s} xlogx(M_rs), fixed point
+  LlFixed ll_degrees_ = 0;  ///< Σ_r xlogx(d_out_r) + xlogx(d_in_r), fixed point
 };
 
 }  // namespace hsbp::blockmodel

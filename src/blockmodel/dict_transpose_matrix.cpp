@@ -4,15 +4,17 @@
 
 namespace hsbp::blockmodel {
 
-void DictTransposeMatrix::add(BlockId row, BlockId col, Count delta) {
-  if (delta == 0) return;
+Count DictTransposeMatrix::add(BlockId row, BlockId col, Count delta) {
+  if (delta == 0) return rows_[static_cast<std::size_t>(row)].get(col);
+  Count new_value = 0;
   const int created =
-      rows_[static_cast<std::size_t>(row)].add(col, delta);
+      rows_[static_cast<std::size_t>(row)].add(col, delta, new_value);
   const int mirror = cols_[static_cast<std::size_t>(col)].add(row, delta);
   assert(created == mirror && "row/column mirror diverged");
   (void)mirror;
   nnz_ = static_cast<std::size_t>(static_cast<std::int64_t>(nnz_) + created);
   total_ += delta;
+  return new_value;
 }
 
 bool DictTransposeMatrix::check_consistency() const {

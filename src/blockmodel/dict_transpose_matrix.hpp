@@ -47,8 +47,10 @@ class DictTransposeMatrix {
   }
 
   /// Adds `delta` to cell (row, col); erases the cell if it reaches zero.
+  /// Returns the cell's resulting value (0 when erased) so callers can
+  /// maintain Σ f(M_rs) aggregates without a second lookup.
   /// \pre resulting value must be >= 0 (asserted).
-  void add(BlockId row, BlockId col, Count delta);
+  Count add(BlockId row, BlockId col, Count delta);
 
   const SparseSlice& row(BlockId r) const noexcept {
     return rows_[static_cast<std::size_t>(r)];
@@ -66,6 +68,24 @@ class DictTransposeMatrix {
   /// Verifies the row/column mirror, non-negativity, and incremental
   /// total/nonzero counters; returns false on violation. O(nnz).
   bool check_consistency() const;
+
+  /// Bulk-construction escape hatch for the sharded parallel rebuild
+  /// (Blockmodel::build_from): each shard owns a disjoint set of rows
+  /// (then, in a second phase, columns) and fills the slices directly,
+  /// bypassing the per-add mirror/total/nnz bookkeeping. The caller
+  /// must insert every cell on both sides and then restore the
+  /// counters via set_bulk_counters(); check_consistency() verifies
+  /// the result. Not for incremental updates — use add().
+  SparseSlice& bulk_row(BlockId r) noexcept {
+    return rows_[static_cast<std::size_t>(r)];
+  }
+  SparseSlice& bulk_col(BlockId c) noexcept {
+    return cols_[static_cast<std::size_t>(c)];
+  }
+  void set_bulk_counters(Count total, std::size_t nnz) noexcept {
+    total_ = total;
+    nnz_ = nnz;
+  }
 
  private:
   std::vector<SparseSlice> rows_;

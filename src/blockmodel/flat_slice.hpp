@@ -63,25 +63,33 @@ class FlatSlice {
   }
 
   /// Adds `delta` to the entry for `key`, erasing it if it reaches zero.
-  /// Returns +1 if an entry was created, -1 if one was erased, else 0.
+  /// Returns +1 if an entry was created, -1 if one was erased, else 0;
+  /// `new_value` receives the entry's resulting value (0 when erased) so
+  /// callers maintaining Σ f(value) aggregates — the Blockmodel's
+  /// fixed-point log-likelihood — get it without a second lookup.
   /// \pre the resulting value must be >= 0 (asserted).
   /// Inline so the dominant case — updating an existing entry, what
   /// move_vertex does ~4·deg(v) times per accepted move — compiles down
   /// to a probe and an in-place increment; create/erase/grow are the
   /// out-of-line slow paths.
-  int add(BlockId key, Count delta) {
-    if (delta == 0) return 0;
+  int add(BlockId key, Count delta, Count& new_value) {
+    if (delta == 0) {
+      new_value = get(key);
+      return 0;
+    }
 
     if (!indexed()) {
       for (std::uint32_t i = 0; i < size_; ++i) {
         if (inline_[i].key != key) continue;
         inline_[i].value += delta;
         assert(inline_[i].value >= 0 && "slice entry went negative");
+        new_value = inline_[i].value;
         if (inline_[i].value != 0) return 0;
         inline_[i] = inline_[--size_];
         return -1;
       }
       assert(delta > 0 && "creating a slice entry with a negative value");
+      new_value = delta;
       if (size_ < kInlineCapacity) {
         inline_[size_++] = {key, delta};
         return +1;
@@ -94,12 +102,20 @@ class FlatSlice {
       const std::uint32_t pos = index_[slot] - 1;
       spill_[pos].value += delta;
       assert(spill_[pos].value >= 0 && "slice entry went negative");
+      new_value = spill_[pos].value;
       if (spill_[pos].value != 0) return 0;
       erase_slot(slot);
       erase_entry(pos);
       return -1;
     }
+    new_value = delta;
     return insert_indexed(key, delta, slot);
+  }
+
+  /// add() for callers that don't need the resulting value.
+  int add(BlockId key, Count delta) {
+    Count ignored;
+    return add(key, delta, ignored);
   }
 
   /// True once the slice has left inline mode (observable for tests).

@@ -1,9 +1,13 @@
 #include "blockmodel/mdl.hpp"
 
+#include <omp.h>
+
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "blockmodel/xlogx_table.hpp"
+#include "util/omp_region.hpp"
 
 namespace hsbp::blockmodel {
 
@@ -17,18 +21,29 @@ double h_function(double x) noexcept {
   return (1.0 + x) * std::log1p(x) - xlogx(x);
 }
 
-double log_likelihood(const Blockmodel& b) {
-  double cell_term = 0.0;
-  double degree_term = 0.0;
-  for (BlockId r = 0; r < b.num_blocks(); ++r) {
-    for (const auto& [col, count] : b.matrix().row(r)) {
-      (void)col;
-      cell_term += xlogx_count(count);
+double log_likelihood(const Blockmodel& b) { return b.log_likelihood(); }
+
+double log_likelihood_rescan(const Blockmodel& b) {
+  const int threads = omp_get_max_threads();
+  std::vector<LlFixed> partials(static_cast<std::size_t>(threads), 0);
+  const BlockId num_blocks = b.num_blocks();
+  util::omp_region([&] {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    LlFixed local = 0;
+#pragma omp for schedule(static) nowait
+    for (BlockId r = 0; r < num_blocks; ++r) {
+      for (const auto& [col, count] : b.matrix().row(r)) {
+        (void)col;
+        local += xlogx_fixed(count);
+      }
+      local -= xlogx_fixed(b.degree_out(r));
+      local -= xlogx_fixed(b.degree_in(r));
     }
-    degree_term += xlogx_count(b.degree_out(r));
-    degree_term += xlogx_count(b.degree_in(r));
-  }
-  return cell_term - degree_term;
+    partials[tid] = local;
+  });
+  LlFixed sum = 0;
+  for (const LlFixed partial : partials) sum += partial;
+  return ll_fixed_to_double(sum);
 }
 
 double model_description_length(graph::Vertex num_vertices,

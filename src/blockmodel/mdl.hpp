@@ -24,7 +24,16 @@ double xlogx(double x) noexcept;
 double h_function(double x) noexcept;
 
 /// Log-likelihood term L(G|B) (Eq. 1) of the current blockmodel state.
+/// O(1): decoded from the fixed-point sums the Blockmodel maintains on
+/// every move_vertex/rebuild (DESIGN §11).
 double log_likelihood(const Blockmodel& b);
+
+/// L(G|B) recomputed from scratch by an O(nnz) OpenMP sweep over the
+/// matrix rows, accumulating the same fixed-point terms the maintained
+/// path uses. Exactly equal to log_likelihood() — integer partial sums
+/// make the reduction order-independent — so tests can assert the
+/// incremental bookkeeping with ==, not a tolerance.
+double log_likelihood_rescan(const Blockmodel& b);
 
 /// Model description length E·h(C²/E) + V·log C for C blocks.
 double model_description_length(graph::Vertex num_vertices,

@@ -12,6 +12,7 @@
 #include "sbp/golden_search.hpp"
 #include "sbp/mcmc_common.hpp"
 #include "util/rng.hpp"
+#include "util/omp_region.hpp"
 #include "util/timer.hpp"
 
 namespace hsbp::dist {
@@ -39,36 +40,41 @@ std::vector<RankUpdates> distributed_pass(
   const int ranks = partition.ranks;
   std::vector<RankUpdates> updates(static_cast<std::size_t>(ranks));
 
-#pragma omp parallel for schedule(dynamic, 1)
-  for (int rank = 0; rank < ranks; ++rank) {
-    auto& local = updates[static_cast<std::size_t>(rank)];
-    std::unordered_map<Vertex, BlockId> overrides;
-    // Local view of block sizes: stale counts plus this rank's deltas.
-    std::vector<std::int32_t> sizes(static_cast<std::size_t>(b.num_blocks()));
-    for (BlockId r = 0; r < b.num_blocks(); ++r) {
-      sizes[static_cast<std::size_t>(r)] = b.block_size(r);
-    }
+  util::omp_region([&] {
+#pragma omp for schedule(dynamic, 1)
+    for (int rank = 0; rank < ranks; ++rank) {
+      auto& local = updates[static_cast<std::size_t>(rank)];
+      std::unordered_map<Vertex, BlockId> overrides;
+      // Local view of block sizes: stale counts plus this rank's
+      // deltas.
+      std::vector<std::int32_t> sizes(
+          static_cast<std::size_t>(b.num_blocks()));
+      for (BlockId r = 0; r < b.num_blocks(); ++r) {
+        sizes[static_cast<std::size_t>(r)] = b.block_size(r);
+      }
 
-    const auto view = [&](Vertex u) {
-      const auto it = overrides.find(u);
-      return it != overrides.end() ? it->second
-                                   : stale[static_cast<std::size_t>(u)];
-    };
+      const auto view = [&](Vertex u) {
+        const auto it = overrides.find(u);
+        return it != overrides.end() ? it->second
+                                     : stale[static_cast<std::size_t>(u)];
+      };
 
-    util::Rng& rng = rngs.stream(static_cast<std::size_t>(rank));
-    for (const Vertex v : partition.members[static_cast<std::size_t>(rank)]) {
-      const BlockId from = view(v);
-      const auto outcome = sbp::evaluate_vertex(
-          graph, b, view, v, sizes[static_cast<std::size_t>(from)], beta,
-          rng);
-      ++local.proposals;
-      if (!outcome.moved) continue;
-      overrides[v] = outcome.to;
-      --sizes[static_cast<std::size_t>(from)];
-      ++sizes[static_cast<std::size_t>(outcome.to)];
-      local.moves.emplace_back(v, outcome.to);
+      util::Rng& rng = rngs.stream(static_cast<std::size_t>(rank));
+      for (const Vertex v :
+           partition.members[static_cast<std::size_t>(rank)]) {
+        const BlockId from = view(v);
+        const auto outcome = sbp::evaluate_vertex(
+            graph, b, view, v, sizes[static_cast<std::size_t>(from)], beta,
+            rng);
+        ++local.proposals;
+        if (!outcome.moved) continue;
+        overrides[v] = outcome.to;
+        --sizes[static_cast<std::size_t>(from)];
+        ++sizes[static_cast<std::size_t>(outcome.to)];
+        local.moves.emplace_back(v, outcome.to);
+      }
     }
-  }
+  });
   return updates;
 }
 

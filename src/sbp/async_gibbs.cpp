@@ -23,19 +23,23 @@ PhaseOutcome async_gibbs_phase(const Graph& graph, Blockmodel& b,
   std::vector<Vertex> vertices(static_cast<std::size_t>(graph.num_vertices()));
   std::iota(vertices.begin(), vertices.end(), 0);
 
+  // One workspace for the whole phase: the shared memberships and sizes
+  // stay equal to b between passes, so there is no per-pass copy-in.
+  detail::PassWorkspace ws;
+  ws.reset(b);
+
   for (int pass = 0; pass < settings.max_iterations; ++pass) {
-    // Alg. 3: copy the membership vector, run one parallel pass against
-    // the (now stale) blockmodel, then rebuild.
-    auto shared = detail::make_atomic_assignment(b.assignment());
-    auto sizes = detail::make_atomic_sizes(b);
+    // Alg. 3: run one parallel pass against the (stale) blockmodel,
+    // then apply the accepted-move log — O(moved degree), with an
+    // adaptive fallback to a full rebuild on high-acceptance passes.
     const auto counters =
-        detail::async_pass(graph, b, shared, sizes, vertices, settings.beta,
-                           rngs, settings.dynamic_schedule);
+        detail::async_pass(graph, b, ws, vertices, settings.beta, rngs,
+                           settings.dynamic_schedule);
     stats.proposals += counters.proposals;
     stats.accepted += counters.accepted;
     outcome.parallel_updates += graph.num_vertices();
 
-    b.rebuild(graph, detail::snapshot_assignment(shared));
+    detail::finish_pass(graph, b, ws, settings.rebuild_threshold);
     const double new_mdl =
         blockmodel::mdl(b, graph.num_vertices(), graph.num_edges());
     const double pass_delta = new_mdl - current_mdl;

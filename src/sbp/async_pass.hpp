@@ -1,6 +1,7 @@
 /// \file async_pass.hpp
-/// \brief Internal: one asynchronous-Gibbs pass over a vertex set,
-/// shared by the A-SBP phase and the parallel half of the H-SBP phase.
+/// \brief Internal: one asynchronous-Gibbs pass over a vertex set plus
+/// the pass-to-pass blockmodel maintenance around it, shared by the
+/// A-SBP phase, the parallel half of the H-SBP phase, and B-SBP.
 ///
 /// The pass reads/writes a shared membership vector with relaxed
 /// atomics: every vertex is owned by exactly one loop index (so its own
@@ -8,8 +9,24 @@
 /// pre-pass and in-pass values — precisely the staleness asynchronous
 /// Gibbs tolerates. Block sizes are tracked with a guarded atomic
 /// transfer so no block is ever emptied by a vertex move.
+///
+/// Pass-to-pass maintenance (DESIGN §11): instead of paying O(E) per
+/// pass to rebuild the blockmodel from a snapshot, each thread logs its
+/// accepted moves. Because each vertex has a single writer and is
+/// evaluated at most once per pass, the union of the per-thread logs is
+/// exactly the pass diff — so applying the logged moves to the
+/// blockmodel through move_vertex (O(degree) each) lands on the same
+/// state a full rebuild would, cell for cell. finish_pass() applies the
+/// log when the moved degree mass is small (the common late-pass case)
+/// and falls back to a sharded full rebuild when a high-acceptance pass
+/// moved more than `rebuild_threshold` of the edge mass, where the
+/// rebuild's one-touch-per-edge scan is cheaper than ~4 slice updates
+/// per moved edge.
 #pragma once
 
+#include <omp.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <span>
@@ -17,6 +34,7 @@
 
 #include "blockmodel/blockmodel.hpp"
 #include "sbp/mcmc_common.hpp"
+#include "util/omp_region.hpp"
 #include "util/rng.hpp"
 
 namespace hsbp::sbp::detail {
@@ -29,56 +47,145 @@ struct AsyncPassCounters {
 using AtomicAssignment = std::vector<std::atomic<std::int32_t>>;
 using AtomicSizes = std::vector<std::atomic<std::int32_t>>;
 
-inline AtomicAssignment make_atomic_assignment(
-    std::span<const std::int32_t> assignment) {
-  AtomicAssignment shared(assignment.size());
-  for (std::size_t i = 0; i < assignment.size(); ++i) {
-    shared[i].store(assignment[i], std::memory_order_relaxed);
-  }
-  return shared;
-}
+/// One accepted move: vertex v ended the pass in block `to`.
+struct MoveRecord {
+  graph::Vertex v;
+  std::int32_t to;
+};
 
-inline AtomicSizes make_atomic_sizes(const blockmodel::Blockmodel& b) {
-  AtomicSizes sizes(static_cast<std::size_t>(b.num_blocks()));
-  for (blockmodel::BlockId r = 0; r < b.num_blocks(); ++r) {
-    sizes[static_cast<std::size_t>(r)].store(b.block_size(r),
-                                             std::memory_order_relaxed);
-  }
-  return sizes;
+/// What finish_pass() did with the move log.
+struct PassApply {
+  std::int64_t moved = 0;         ///< accepted moves in the log union
+  std::int64_t moved_degree = 0;  ///< Σ degree(v) over moved vertices
+  bool rebuilt = false;           ///< true when it fell back to rebuild()
+};
+
+/// Fills `out` from the shared vector (parallel; out is resized).
+inline void snapshot_assignment_into(const AtomicAssignment& shared,
+                                     std::vector<std::int32_t>& out) {
+  out.resize(shared.size());
+  const auto count = static_cast<std::int64_t>(shared.size());
+  util::omp_region([&] {
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < count; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          shared[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    }
+  });
 }
 
 inline std::vector<std::int32_t> snapshot_assignment(
     const AtomicAssignment& shared) {
-  std::vector<std::int32_t> out(shared.size());
-  for (std::size_t i = 0; i < shared.size(); ++i) {
-    out[i] = shared[i].load(std::memory_order_relaxed);
-  }
+  std::vector<std::int32_t> out;
+  snapshot_assignment_into(shared, out);
   return out;
 }
 
+/// Per-phase workspace for the asynchronous passes: the shared atomic
+/// membership vector, the atomic block sizes, the per-thread accepted-
+/// move logs, and a snapshot buffer for the rebuild fallback. Allocated
+/// once per phase (reset()) and reused across passes — the pass/apply
+/// cycle keeps `shared`/`sizes` equal to the blockmodel's state, so no
+/// copy-in is needed between passes.
+///
+/// Invariant between passes (established by reset(), preserved by
+/// async_pass() + finish_pass(), and by sync_move() for serial
+/// interleavings): shared[v] == b.assignment()[v] for every v, and
+/// sizes[r] == b.block_size(r) for every r.
+struct PassWorkspace {
+  AtomicAssignment shared;
+  AtomicSizes sizes;
+  std::vector<std::vector<MoveRecord>> logs;
+  std::vector<std::int32_t> snapshot;  ///< scratch for the fallback path
+  /// Per-thread proposal/acceptance tallies, summed serially after the
+  /// pass (an OpenMP reduction would merge through libgomp internals
+  /// ThreadSanitizer cannot see; explicit slots keep the handoff on the
+  /// bridged fork/join path and the buffers reusable across passes).
+  std::vector<std::int64_t> thread_proposals;
+  std::vector<std::int64_t> thread_accepted;
+
+  /// (Re)sizes the buffers and copies in the blockmodel's state. Call
+  /// once at phase start (vectors of atomics cannot resize in place, so
+  /// per-pass construction would reallocate; this reuses them).
+  void reset(const blockmodel::Blockmodel& b) {
+    const std::size_t v_count = b.assignment().size();
+    if (shared.size() != v_count) shared = AtomicAssignment(v_count);
+    const auto blocks = static_cast<std::size_t>(b.num_blocks());
+    if (sizes.size() != blocks) sizes = AtomicSizes(blocks);
+    logs.resize(static_cast<std::size_t>(omp_get_max_threads()));
+
+    const auto& assignment = b.assignment();
+    const auto count = static_cast<std::int64_t>(v_count);
+    util::omp_region([&] {
+#pragma omp for schedule(static)
+      for (std::int64_t i = 0; i < count; ++i) {
+        shared[static_cast<std::size_t>(i)].store(
+            assignment[static_cast<std::size_t>(i)],
+            std::memory_order_relaxed);
+      }
+    });
+    for (blockmodel::BlockId r = 0; r < b.num_blocks(); ++r) {
+      sizes[static_cast<std::size_t>(r)].store(b.block_size(r),
+                                               std::memory_order_relaxed);
+    }
+  }
+
+  /// Mirrors a serially applied b.move_vertex(v, from → to) into the
+  /// workspace, keeping the between-pass invariant when a synchronous
+  /// sweep (H-SBP's high-degree half) interleaves with async passes.
+  void sync_move(graph::Vertex v, blockmodel::BlockId from,
+                 blockmodel::BlockId to) {
+    shared[static_cast<std::size_t>(v)].store(to, std::memory_order_relaxed);
+    sizes[static_cast<std::size_t>(from)].fetch_sub(1,
+                                                    std::memory_order_relaxed);
+    sizes[static_cast<std::size_t>(to)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
+};
+
+/// Delta-apply vs rebuild crossover, as a fraction of the directed edge
+/// mass 2E: applying a move touches ~4·deg(v) slice cells while a
+/// rebuild touches each edge once (plus the merge), so deltas stop
+/// winning somewhere below deg mass ≈ E/2. Conservative default;
+/// overridable per call (and via McmcSettings::rebuild_threshold).
+inline constexpr double kDefaultRebuildThreshold = 0.25;
+
 /// Runs one parallel pass over `vertices`. `b` supplies the (stale)
-/// blockmodel for proposal weights and ΔMDL; `shared`/`sizes` carry the
-/// evolving memberships. The default static schedule keeps the
-/// vertex→thread→RNG mapping deterministic for a fixed thread count;
-/// `dynamic_schedule` trades that for load balance on skewed degree
-/// distributions (the paper's §5.5 load-balancing remark).
+/// blockmodel for proposal weights and ΔMDL; `ws.shared`/`ws.sizes`
+/// carry the evolving memberships, and every accepted move is logged in
+/// the executing thread's `ws.logs` entry (cleared here at pass start).
+/// The default static schedule keeps the vertex→thread→RNG mapping
+/// deterministic for a fixed thread count; `dynamic_schedule` trades
+/// that for load balance on skewed degree distributions (the paper's
+/// §5.5 load-balancing remark).
 inline AsyncPassCounters async_pass(const graph::Graph& graph,
                                     const blockmodel::Blockmodel& b,
-                                    AtomicAssignment& shared,
-                                    AtomicSizes& sizes,
+                                    PassWorkspace& ws,
                                     std::span<const graph::Vertex> vertices,
                                     double beta, util::RngPool& rngs,
                                     bool dynamic_schedule = false) {
   AsyncPassCounters counters;
-  std::int64_t proposals = 0;
-  std::int64_t accepted = 0;
   const auto count = static_cast<std::int64_t>(vertices.size());
 
-  // The loop body takes the reduction counters as parameters: inside
-  // the parallel region the names bind to each thread's private copy
-  // (a by-reference capture would alias the shared outer variables and
-  // race). Each thread evaluates through its own MoveScratch arena, so
-  // steady-state passes allocate nothing.
+  const auto threads = static_cast<std::size_t>(omp_get_max_threads());
+  if (ws.logs.size() < threads) ws.logs.resize(threads);
+  for (auto& log : ws.logs) log.clear();
+  if (ws.thread_proposals.size() < threads) {
+    ws.thread_proposals.resize(threads);
+    ws.thread_accepted.resize(threads);
+  }
+  // Zero every slot up front: a smaller-than-max team would otherwise
+  // leave stale tallies from an earlier pass in the unclaimed slots.
+  std::fill(ws.thread_proposals.begin(), ws.thread_proposals.end(), 0);
+  std::fill(ws.thread_accepted.begin(), ws.thread_accepted.end(), 0);
+  auto& shared = ws.shared;
+  auto& sizes = ws.sizes;
+
+  // The loop body takes the tally counters as parameters: inside the
+  // parallel region the names bind to region-local (hence per-thread)
+  // accumulators, written out once per thread at pass end. Each thread
+  // evaluates through its own MoveScratch arena, so steady-state
+  // passes allocate nothing.
   const auto body = [&](std::int64_t i, std::int64_t& proposals_local,
                         std::int64_t& accepted_local) {
     const graph::Vertex v = vertices[static_cast<std::size_t>(i)];
@@ -104,21 +211,78 @@ inline AsyncPassCounters async_pass(const graph::Graph& graph,
         1, std::memory_order_relaxed);
     shared[static_cast<std::size_t>(v)].store(outcome.to,
                                               std::memory_order_relaxed);
+    // Single writer per vertex + one evaluation per pass: at most one
+    // record per vertex, so the log union is exactly the pass diff.
+    ws.logs[static_cast<std::size_t>(omp_get_thread_num())].push_back(
+        {v, outcome.to});
     ++accepted_local;
   };
 
-  if (dynamic_schedule) {
-#pragma omp parallel for schedule(dynamic, 64) \
-    reduction(+ : proposals, accepted)
-    for (std::int64_t i = 0; i < count; ++i) body(i, proposals, accepted);
-  } else {
-#pragma omp parallel for schedule(static) reduction(+ : proposals, accepted)
-    for (std::int64_t i = 0; i < count; ++i) body(i, proposals, accepted);
+  util::omp_region([&] {
+    std::int64_t proposals_local = 0;
+    std::int64_t accepted_local = 0;
+    // Every thread takes the same branch, so the team encounters the
+    // same single worksharing construct either way.
+    if (dynamic_schedule) {
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0; i < count; ++i) {
+        body(i, proposals_local, accepted_local);
+      }
+    } else {
+#pragma omp for schedule(static) nowait
+      for (std::int64_t i = 0; i < count; ++i) {
+        body(i, proposals_local, accepted_local);
+      }
+    }
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    ws.thread_proposals[tid] = proposals_local;
+    ws.thread_accepted[tid] = accepted_local;
+  });
+
+  for (std::size_t t = 0; t < threads; ++t) {
+    counters.proposals += ws.thread_proposals[t];
+    counters.accepted += ws.thread_accepted[t];
+  }
+  return counters;
+}
+
+/// Applies the pass recorded in `ws.logs` to `b`: O(moved-degree) move
+/// deltas when the moved degree mass is at most `rebuild_threshold` of
+/// the directed edge mass 2E, a full rebuild from a snapshot of
+/// `ws.shared` otherwise. Both paths leave b bit-identical to
+/// rebuild(snapshot) — the delta path because move_vertex preserves
+/// "state == f(assignment)" exactly at every step and the log union is
+/// the pass diff; the MDL because the likelihood sums are maintained in
+/// order-independent fixed point. Requires the PassWorkspace invariant
+/// (shared == b.assignment on entry to the preceding async_pass).
+inline PassApply finish_pass(const graph::Graph& graph,
+                             blockmodel::Blockmodel& b, PassWorkspace& ws,
+                             double rebuild_threshold =
+                                 kDefaultRebuildThreshold) {
+  PassApply apply;
+  for (const auto& log : ws.logs) {
+    apply.moved += static_cast<std::int64_t>(log.size());
+    for (const MoveRecord& rec : log) {
+      apply.moved_degree += graph.degree(rec.v);
+    }
+  }
+  if (apply.moved == 0) return apply;
+
+  const double edge_mass = 2.0 * static_cast<double>(graph.num_edges());
+  if (static_cast<double>(apply.moved_degree) >
+      rebuild_threshold * edge_mass) {
+    apply.rebuilt = true;
+    snapshot_assignment_into(ws.shared, ws.snapshot);
+    b.rebuild(graph, ws.snapshot);
+    return apply;
   }
 
-  counters.proposals = proposals;
-  counters.accepted = accepted;
-  return counters;
+  for (const auto& log : ws.logs) {
+    for (const MoveRecord& rec : log) {
+      b.move_vertex(graph, rec.v, rec.to);
+    }
+  }
+  return apply;
 }
 
 }  // namespace hsbp::sbp::detail

@@ -26,6 +26,12 @@ PhaseOutcome batched_gibbs_phase(const Graph& graph, Blockmodel& b,
   std::iota(vertices.begin(), vertices.end(), 0);
   const int batches = std::max(1, batch_count);
 
+  // One workspace across every batch of every pass: each finish_pass
+  // re-synchronizes b with the shared memberships, so the next batch
+  // starts from consistent state without a copy-in.
+  detail::PassWorkspace ws;
+  ws.reset(b);
+
   for (int pass = 0; pass < settings.max_iterations; ++pass) {
     // Shuffle once per pass so batch composition varies — otherwise the
     // same vertex always sees the same staleness position.
@@ -42,18 +48,16 @@ PhaseOutcome batched_gibbs_phase(const Graph& graph, Blockmodel& b,
           static_cast<std::size_t>(batches);
       if (begin == end) continue;
 
-      auto shared = detail::make_atomic_assignment(b.assignment());
-      auto sizes = detail::make_atomic_sizes(b);
       const std::span<const Vertex> slice(vertices.data() + begin,
                                           end - begin);
       const auto counters =
-          detail::async_pass(graph, b, shared, sizes, slice, settings.beta,
-                             rngs, settings.dynamic_schedule);
+          detail::async_pass(graph, b, ws, slice, settings.beta, rngs,
+                             settings.dynamic_schedule);
       stats.proposals += counters.proposals;
       stats.accepted += counters.accepted;
       outcome.parallel_updates += static_cast<std::int64_t>(slice.size());
 
-      b.rebuild(graph, detail::snapshot_assignment(shared));
+      detail::finish_pass(graph, b, ws, settings.rebuild_threshold);
     }
 
     const double new_mdl =

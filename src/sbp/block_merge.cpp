@@ -7,6 +7,7 @@
 
 #include "blockmodel/merge_delta.hpp"
 #include "sbp/proposal.hpp"
+#include "util/omp_region.hpp"
 
 namespace hsbp::sbp {
 
@@ -48,26 +49,29 @@ MergeOutcome block_merge_phase(const graph::Graph& graph, const Blockmodel& b,
   // Parallel proposal sweep: each block evaluates `proposals_per_block`
   // candidate partners and records its best ΔMDL.
   std::vector<BestMerge> best(static_cast<std::size_t>(num_blocks));
-#pragma omp parallel for schedule(static)
-  for (BlockId c = 0; c < num_blocks; ++c) {
-    util::Rng& rng = rngs.local();
-    // Reuse the thread's scratch arena: the neighbor-count buffers are
-    // cleared and refilled per block instead of reallocated.
-    blockmodel::NeighborBlockCounts& nb =
-        blockmodel::thread_move_scratch().nb;
-    block_neighbor_counts_into(b, c, nb);
-    BestMerge& slot = best[static_cast<std::size_t>(c)];
-    for (int attempt = 0; attempt < proposals_per_block; ++attempt) {
-      const BlockId partner = propose_block(b, nb, c, /*is_merge=*/true, rng);
-      if (partner == c) continue;
-      const double delta = blockmodel::merge_delta_mdl(
-          b, c, partner, graph.num_vertices(), graph.num_edges());
-      if (delta < slot.delta_mdl) {
-        slot.delta_mdl = delta;
-        slot.partner = partner;
+  util::omp_region([&] {
+#pragma omp for schedule(static)
+    for (BlockId c = 0; c < num_blocks; ++c) {
+      util::Rng& rng = rngs.local();
+      // Reuse the thread's scratch arena: the neighbor-count buffers
+      // are cleared and refilled per block instead of reallocated.
+      blockmodel::NeighborBlockCounts& nb =
+          blockmodel::thread_move_scratch().nb;
+      block_neighbor_counts_into(b, c, nb);
+      BestMerge& slot = best[static_cast<std::size_t>(c)];
+      for (int attempt = 0; attempt < proposals_per_block; ++attempt) {
+        const BlockId partner =
+            propose_block(b, nb, c, /*is_merge=*/true, rng);
+        if (partner == c) continue;
+        const double delta = blockmodel::merge_delta_mdl(
+            b, c, partner, graph.num_vertices(), graph.num_edges());
+        if (delta < slot.delta_mdl) {
+          slot.delta_mdl = delta;
+          slot.partner = partner;
+        }
       }
     }
-  }
+  });
 
   // Sort blocks by their best ΔMDL and apply merges greedily.
   std::vector<BlockId> order(static_cast<std::size_t>(num_blocks));
@@ -101,13 +105,27 @@ MergeOutcome block_merge_phase(const graph::Graph& graph, const Blockmodel& b,
     }
   }
 
+  // Flatten root→dense into a per-old-block final label (O(C), serial,
+  // path compression mutates `parent`) so the O(V) relabel sweep below
+  // is a read-only data-parallel gather.
+  std::vector<BlockId> final_label(static_cast<std::size_t>(num_blocks));
+  for (BlockId c = 0; c < num_blocks; ++c) {
+    final_label[static_cast<std::size_t>(c)] =
+        dense[static_cast<std::size_t>(find_root(parent, c))];
+  }
+
   outcome.num_blocks = next_label;
   outcome.assignment.resize(b.assignment().size());
   const auto& old_assignment = b.assignment();
-  for (std::size_t v = 0; v < old_assignment.size(); ++v) {
-    const BlockId root = find_root(parent, old_assignment[v]);
-    outcome.assignment[v] = dense[static_cast<std::size_t>(root)];
-  }
+  const auto v_count = static_cast<std::int64_t>(old_assignment.size());
+  util::omp_region([&] {
+#pragma omp for schedule(static)
+    for (std::int64_t v = 0; v < v_count; ++v) {
+      outcome.assignment[static_cast<std::size_t>(v)] =
+          final_label[static_cast<std::size_t>(
+              old_assignment[static_cast<std::size_t>(v)])];
+    }
+  });
   return outcome;
 }
 

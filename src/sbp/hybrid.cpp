@@ -21,6 +21,12 @@ PhaseOutcome hybrid_phase(const Graph& graph, Blockmodel& b,
   util::Rng& serial_rng = rngs.stream(0);
   blockmodel::MoveScratch& scratch = blockmodel::thread_move_scratch();
 
+  // One workspace for the whole phase; the serial sweep mirrors its
+  // in-place moves into it (sync_move) so the shared memberships stay
+  // equal to b without a per-pass copy-in.
+  detail::PassWorkspace ws;
+  ws.reset(b);
+
   for (int pass = 0; pass < settings.max_iterations; ++pass) {
     // Alg. 4, first half: the influential high-degree vertices get a
     // synchronous Metropolis-Hastings sweep with in-place updates, so
@@ -33,24 +39,24 @@ PhaseOutcome hybrid_phase(const Graph& graph, Blockmodel& b,
                           serial_rng, scratch);
       ++stats.proposals;
       if (result.moved) {
+        const auto from = b.block_of(v);
         b.move_vertex(graph, v, result.to);
+        ws.sync_move(v, from, result.to);
         ++stats.accepted;
       }
     }
     outcome.serial_updates += static_cast<std::int64_t>(split.high.size());
 
     // Second half: the low-degree majority in one asynchronous pass
-    // against the post-sweep blockmodel.
-    auto shared = detail::make_atomic_assignment(b.assignment());
-    auto sizes = detail::make_atomic_sizes(b);
+    // against the post-sweep blockmodel, applied as move deltas.
     const auto counters =
-        detail::async_pass(graph, b, shared, sizes, split.low, settings.beta,
-                           rngs, settings.dynamic_schedule);
+        detail::async_pass(graph, b, ws, split.low, settings.beta, rngs,
+                           settings.dynamic_schedule);
     stats.proposals += counters.proposals;
     stats.accepted += counters.accepted;
     outcome.parallel_updates += static_cast<std::int64_t>(split.low.size());
 
-    b.rebuild(graph, detail::snapshot_assignment(shared));
+    detail::finish_pass(graph, b, ws, settings.rebuild_threshold);
     const double new_mdl =
         blockmodel::mdl(b, graph.num_vertices(), graph.num_edges());
     const double pass_delta = new_mdl - current_mdl;

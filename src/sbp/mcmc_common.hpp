@@ -25,6 +25,10 @@ struct McmcSettings {
   /// Dynamic OpenMP schedule for the asynchronous passes (load balance
   /// vs. reproducibility; see SbpConfig::dynamic_schedule).
   bool dynamic_schedule = false;
+  /// Adaptive pass-apply fallback: rebuild the blockmodel instead of
+  /// applying move deltas when a pass moved more than this fraction of
+  /// the directed edge mass (detail::kDefaultRebuildThreshold).
+  double rebuild_threshold = 0.25;
 };
 
 /// Outcome of evaluating one vertex.

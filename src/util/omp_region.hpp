@@ -1,0 +1,67 @@
+/// \file omp_region.hpp
+/// \brief Zero-capture OpenMP parallel regions with a fork/join edge
+/// ThreadSanitizer can see.
+///
+/// A plain `#pragma omp parallel` hands its shared state to the team
+/// through a compiler-generated capture struct on the forking thread's
+/// stack. Pooled libgomp workers read that struct at region entry,
+/// ordered only by futex barriers TSan has no interceptors for — so
+/// under -fsanitize=thread every region entry is reported as a race
+/// between the serial capture writes and the workers' first reads, and
+/// there is no point inside the region early enough to bridge it.
+///
+/// omp_region() removes the capture struct instead of annotating it:
+/// the serial caller stores the closure's address in a namespace-scope
+/// slot, bumps the shared atomic gate (release), and opens a
+/// `default(none)` region that lexically references no locals at all.
+/// Each team thread's first action is another gate bump (acquire) —
+/// the RMW chain on the gate hands TSan the happens-before edge the
+/// real fork barrier already enforces — after which it calls the
+/// closure through the slot. The join edge is bridged the same way in
+/// reverse (per-thread release at region end, serial acquire after).
+///
+/// Worksharing constructs inside the closure bind to the region as
+/// orphaned constructs; use `nowait` plus omp_region_barrier() between
+/// phases that hand data across threads so the handoff is bridged too.
+///
+/// Not reentrant: one region at a time, entered from serial code only
+/// (asserted). All no-ops-but-the-pragmas outside -fsanitize=thread.
+#pragma once
+
+#include <omp.h>
+
+#include <cassert>
+
+#include "util/tsan_sync.hpp"
+
+namespace hsbp::util {
+
+/// Closure handoff slot: written serially before the region, read by
+/// every team thread after the entry acquire.
+inline const void* omp_region_body = nullptr;
+
+template <class F>
+inline void omp_region(const F& body) {
+  assert(!omp_in_parallel());
+  omp_region_body = &body;
+  tsan_omp_sync();  // release the closure and everything before it
+#pragma omp parallel default(none) shared(omp_region_body)
+  {
+    tsan_omp_sync();  // acquire the fork edge
+    (*static_cast<const F*>(omp_region_body))();
+    tsan_omp_sync();  // release this thread's region writes
+  }
+  tsan_omp_sync();  // acquire the join edge
+}
+
+/// Phase boundary inside an omp_region() closure: releases the calling
+/// thread's writes, waits on a real barrier, then acquires every other
+/// thread's pre-barrier release. Pair with `nowait` on the preceding
+/// worksharing construct to avoid a redundant implicit barrier.
+inline void omp_region_barrier() noexcept {
+  tsan_omp_sync();  // release this thread's phase writes
+#pragma omp barrier
+  tsan_omp_sync();  // acquire every thread's phase writes
+}
+
+}  // namespace hsbp::util

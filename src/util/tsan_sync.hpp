@@ -1,0 +1,51 @@
+/// \file tsan_sync.hpp
+/// \brief The happens-before bridge that makes OpenMP's barriers
+/// visible to ThreadSanitizer.
+///
+/// GCC's libgomp synchronizes its fork/join and `#pragma omp for`
+/// barriers with futexes TSan cannot see (worker threads are pooled,
+/// so even the fork edge is a futex dock, not an intercepted
+/// pthread_create). Without help every ordered handoff — serial writes
+/// read inside a region, one phase's writes read by the next, region
+/// results read after the join — is reported as a data race.
+///
+/// The bridge is a single shared atomic counter. Every sync point is a
+/// fetch_add(acq_rel): the RMW both publishes the thread's writes so
+/// far and acquires every earlier RMW in the counter's release
+/// sequence. Because the real OpenMP barriers order the RMWs in time
+/// (all pre-barrier bumps precede every post-barrier bump in the
+/// counter's modification order), each later bump carries edges from
+/// everything the barrier already ordered — TSan just gets to see it
+/// through the atomic.
+///
+/// Use the structured entry points in util/omp_region.hpp
+/// (zero-capture region trampoline + bridged phase barrier) rather
+/// than calling tsan_omp_sync() directly; the raw bump lives here so
+/// the no-op fallback is in one place. Everything compiles to nothing
+/// outside -fsanitize=thread.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#include <atomic>
+#endif
+
+namespace hsbp::util {
+
+#if defined(__SANITIZE_THREAD__)
+
+inline std::atomic<unsigned>& tsan_omp_gate() noexcept {
+  static std::atomic<unsigned> gate{0};
+  return gate;
+}
+
+inline void tsan_omp_sync() noexcept {
+  tsan_omp_gate().fetch_add(1, std::memory_order_acq_rel);
+}
+
+#else
+
+inline void tsan_omp_sync() noexcept {}
+
+#endif
+
+}  // namespace hsbp::util

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "blockmodel/blockmodel.hpp"
@@ -107,6 +108,42 @@ TEST(NullMdl, MatchesOneBlockPartition) {
 
 TEST(NullMdl, DegenerateInputs) {
   EXPECT_EQ(null_mdl(10, 0), 0.0);
+}
+
+TEST(LogLikelihood, MaintainedEqualsRescanExactly) {
+  // The O(1) maintained likelihood and the O(nnz) rescan accumulate the
+  // same quantized fixed-point terms, so they must agree to the bit —
+  // EXPECT_EQ on doubles, no tolerance.
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {0, 2},
+                                   {4, 4}, {4, 1}, {3, 4}, {2, 2}, {1, 4}};
+  const Graph g = Graph::from_edges(5, edges);
+  const std::vector<std::int32_t> assignment = {0, 1, 2, 0, 1};
+  const auto b = Blockmodel::from_assignment(g, assignment, 3);
+  EXPECT_EQ(log_likelihood(b), log_likelihood_rescan(b));
+}
+
+TEST(LogLikelihood, MaintainedTracksMoveSequenceExactly) {
+  // After every in-place move the maintained sums must still equal the
+  // rescan and a from-scratch construction of the same assignment —
+  // this is the invariant the pass-to-pass delta application rests on.
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4},
+                                   {4, 3}, {1, 1}, {0, 3}, {2, 4}, {4, 0},
+                                   {3, 1}, {1, 4}};
+  const Graph g = Graph::from_edges(5, edges);
+  std::vector<std::int32_t> assignment = {0, 0, 1, 1, 2};
+  auto b = Blockmodel::from_assignment(g, assignment, 3);
+
+  const std::vector<std::pair<graph::Vertex, BlockId>> moves = {
+      {0, 1}, {2, 2}, {4, 0}, {0, 2}, {2, 1}, {4, 2}, {0, 0}};
+  for (const auto& [v, to] : moves) {
+    if (b.block_size(b.block_of(v)) <= 1 || b.block_of(v) == to) continue;
+    b.move_vertex(g, v, to);
+    assignment[static_cast<std::size_t>(v)] = to;
+    EXPECT_EQ(log_likelihood(b), log_likelihood_rescan(b));
+    const auto fresh = Blockmodel::from_assignment(g, assignment, 3);
+    EXPECT_EQ(log_likelihood(b), log_likelihood(fresh));
+    EXPECT_EQ(mdl(b, 5, 12), mdl(fresh, 5, 12));
+  }
 }
 
 TEST(Mdl, GoodPartitionBeatsBadPartition) {

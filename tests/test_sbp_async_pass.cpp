@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -16,9 +17,16 @@ using blockmodel::Blockmodel;
 using graph::Vertex;
 
 TEST(AtomicHelpers, AssignmentRoundTrip) {
-  const std::vector<std::int32_t> original = {3, 1, 4, 1, 5};
-  const auto shared = make_atomic_assignment(original);
-  EXPECT_EQ(snapshot_assignment(shared), original);
+  generator::DcsbmParams p;
+  p.num_vertices = 50;
+  p.num_communities = 5;
+  p.num_edges = 300;
+  p.seed = 30;
+  const auto g = generator::generate_dcsbm(p);
+  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 5);
+  PassWorkspace ws;
+  ws.reset(b);
+  EXPECT_EQ(snapshot_assignment(ws.shared), b.assignment());
 }
 
 TEST(AtomicHelpers, SizesMatchBlockmodel) {
@@ -29,10 +37,33 @@ TEST(AtomicHelpers, SizesMatchBlockmodel) {
   p.seed = 31;
   const auto g = generator::generate_dcsbm(p);
   const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 4);
-  const auto sizes = make_atomic_sizes(b);
-  ASSERT_EQ(sizes.size(), 4u);
+  PassWorkspace ws;
+  ws.reset(b);
+  ASSERT_EQ(ws.sizes.size(), 4u);
   for (BlockId r = 0; r < 4; ++r) {
-    EXPECT_EQ(sizes[static_cast<std::size_t>(r)].load(), b.block_size(r));
+    EXPECT_EQ(ws.sizes[static_cast<std::size_t>(r)].load(), b.block_size(r));
+  }
+}
+
+TEST(AtomicHelpers, ResetReusesBuffersAcrossCalls) {
+  generator::DcsbmParams p;
+  p.num_vertices = 80;
+  p.num_communities = 4;
+  p.num_edges = 500;
+  p.seed = 37;
+  const auto g = generator::generate_dcsbm(p);
+  auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 4);
+  PassWorkspace ws;
+  ws.reset(b);
+  const auto* shared_data = ws.shared.data();
+  b.move_vertex(g.graph, 0, (b.block_of(0) + 1) % 4);
+  ws.reset(b);
+  // Same sizes → the atomic vectors are reused, not reallocated, and
+  // the contents track the mutated blockmodel.
+  EXPECT_EQ(ws.shared.data(), shared_data);
+  EXPECT_EQ(snapshot_assignment(ws.shared), b.assignment());
+  for (BlockId r = 0; r < 4; ++r) {
+    EXPECT_EQ(ws.sizes[static_cast<std::size_t>(r)].load(), b.block_size(r));
   }
 }
 
@@ -46,22 +77,66 @@ TEST(AsyncPass, EvaluatesExactlyTheGivenVertices) {
   const auto g = generator::generate_dcsbm(p);
   const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 4);
 
-  auto shared = make_atomic_assignment(b.assignment());
-  auto sizes = make_atomic_sizes(b);
+  PassWorkspace ws;
+  ws.reset(b);
   std::vector<Vertex> subset = {0, 5, 10, 15, 20};
   util::RngPool rngs(1, 4);
-  const auto counters =
-      async_pass(g.graph, b, shared, sizes, subset, 3.0, rngs);
+  const auto counters = async_pass(g.graph, b, ws, subset, 3.0, rngs);
   EXPECT_EQ(counters.proposals, 5);
   EXPECT_LE(counters.accepted, counters.proposals);
 
-  // Vertices outside the subset are untouched.
-  const auto result = snapshot_assignment(shared);
+  // Vertices outside the subset are untouched, and the move log only
+  // mentions subset vertices.
+  const auto result = snapshot_assignment(ws.shared);
   for (Vertex v = 0; v < 120; ++v) {
     const bool in_subset =
         std::find(subset.begin(), subset.end(), v) != subset.end();
     if (!in_subset) {
       EXPECT_EQ(result[static_cast<std::size_t>(v)], b.block_of(v));
+    }
+  }
+  for (const auto& log : ws.logs) {
+    for (const MoveRecord& rec : log) {
+      EXPECT_NE(std::find(subset.begin(), subset.end(), rec.v), subset.end());
+    }
+  }
+}
+
+TEST(AsyncPass, MoveLogIsExactlyThePassDiff) {
+  generator::DcsbmParams p;
+  p.num_vertices = 200;
+  p.num_communities = 5;
+  p.num_edges = 1500;
+  p.seed = 38;
+  const auto g = generator::generate_dcsbm(p);
+  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 5);
+
+  PassWorkspace ws;
+  ws.reset(b);
+  std::vector<Vertex> all(200);
+  std::iota(all.begin(), all.end(), 0);
+  util::RngPool rngs(7, 4);
+  const auto counters = async_pass(g.graph, b, ws, all, 3.0, rngs);
+
+  // Each vertex appears at most once across the per-thread logs, the
+  // logged destinations match the shared memberships, and every vertex
+  // whose membership changed is in the log.
+  const auto result = snapshot_assignment(ws.shared);
+  std::set<Vertex> logged;
+  std::int64_t records = 0;
+  for (const auto& log : ws.logs) {
+    for (const MoveRecord& rec : log) {
+      ++records;
+      EXPECT_TRUE(logged.insert(rec.v).second)
+          << "vertex " << rec.v << " logged twice";
+      EXPECT_EQ(result[static_cast<std::size_t>(rec.v)], rec.to);
+      EXPECT_NE(rec.to, b.block_of(rec.v));
+    }
+  }
+  EXPECT_EQ(records, counters.accepted);
+  for (Vertex v = 0; v < 200; ++v) {
+    if (result[static_cast<std::size_t>(v)] != b.block_of(v)) {
+      EXPECT_TRUE(logged.count(v)) << "moved vertex " << v << " not logged";
     }
   }
 }
@@ -75,21 +150,21 @@ TEST(AsyncPass, SizeAccountingStaysExact) {
   const auto g = generator::generate_dcsbm(p);
   const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 5);
 
-  auto shared = make_atomic_assignment(b.assignment());
-  auto sizes = make_atomic_sizes(b);
+  PassWorkspace ws;
+  ws.reset(b);
   std::vector<Vertex> all(200);
   std::iota(all.begin(), all.end(), 0);
   util::RngPool rngs(2, 4);
-  async_pass(g.graph, b, shared, sizes, all, 3.0, rngs);
+  async_pass(g.graph, b, ws, all, 3.0, rngs);
 
   // Tracked sizes equal recounted sizes; all blocks stay non-empty.
-  const auto result = snapshot_assignment(shared);
+  const auto result = snapshot_assignment(ws.shared);
   std::vector<std::int32_t> recounted(5, 0);
   for (const std::int32_t label : result) {
     ++recounted[static_cast<std::size_t>(label)];
   }
   for (BlockId r = 0; r < 5; ++r) {
-    EXPECT_EQ(sizes[static_cast<std::size_t>(r)].load(),
+    EXPECT_EQ(ws.sizes[static_cast<std::size_t>(r)].load(),
               recounted[static_cast<std::size_t>(r)]);
     EXPECT_GT(recounted[static_cast<std::size_t>(r)], 0);
   }
@@ -112,14 +187,14 @@ TEST(AsyncPass, NeverEmptiesSingletonBlocks) {
   state[2] = 5;
   const auto b = Blockmodel::from_assignment(g.graph, state, 6);
 
-  auto shared = make_atomic_assignment(b.assignment());
-  auto sizes = make_atomic_sizes(b);
+  PassWorkspace ws;
+  ws.reset(b);
   std::vector<Vertex> all(60);
   std::iota(all.begin(), all.end(), 0);
   util::RngPool rngs(3, 4);
-  async_pass(g.graph, b, shared, sizes, all, 3.0, rngs);
+  async_pass(g.graph, b, ws, all, 3.0, rngs);
 
-  const auto result = snapshot_assignment(shared);
+  const auto result = snapshot_assignment(ws.shared);
   std::vector<int> counts(6, 0);
   for (const std::int32_t label : result) {
     ++counts[static_cast<std::size_t>(label)];
@@ -141,11 +216,11 @@ TEST(AsyncPass, DeterministicForFixedThreadCountAndSeed) {
   std::iota(all.begin(), all.end(), 0);
 
   const auto run_once = [&]() {
-    auto shared = make_atomic_assignment(b.assignment());
-    auto sizes = make_atomic_sizes(b);
+    PassWorkspace ws;
+    ws.reset(b);
     util::RngPool rngs(9, 4);
-    async_pass(g.graph, b, shared, sizes, all, 3.0, rngs);
-    return snapshot_assignment(shared);
+    async_pass(g.graph, b, ws, all, 3.0, rngs);
+    return snapshot_assignment(ws.shared);
   };
   EXPECT_EQ(run_once(), run_once());
 }
@@ -157,15 +232,44 @@ TEST(AsyncPass, EmptyVertexSetIsNoop) {
   p.num_edges = 300;
   p.seed = 36;
   const auto g = generator::generate_dcsbm(p);
-  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 2);
-  auto shared = make_atomic_assignment(b.assignment());
-  auto sizes = make_atomic_sizes(b);
+  auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 2);
+  PassWorkspace ws;
+  ws.reset(b);
   util::RngPool rngs(1, 2);
-  const auto counters =
-      async_pass(g.graph, b, shared, sizes, {}, 3.0, rngs);
+  const auto counters = async_pass(g.graph, b, ws, {}, 3.0, rngs);
   EXPECT_EQ(counters.proposals, 0);
   EXPECT_EQ(counters.accepted, 0);
-  EXPECT_EQ(snapshot_assignment(shared), b.assignment());
+  EXPECT_EQ(snapshot_assignment(ws.shared), b.assignment());
+  const auto apply = finish_pass(g.graph, b, ws);
+  EXPECT_EQ(apply.moved, 0);
+  EXPECT_EQ(apply.moved_degree, 0);
+  EXPECT_FALSE(apply.rebuilt);
+}
+
+TEST(AsyncPass, SyncMoveKeepsWorkspaceInvariant) {
+  generator::DcsbmParams p;
+  p.num_vertices = 90;
+  p.num_communities = 3;
+  p.num_edges = 600;
+  p.seed = 39;
+  const auto g = generator::generate_dcsbm(p);
+  auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 3);
+  PassWorkspace ws;
+  ws.reset(b);
+
+  // Serial-style moves mirrored through sync_move, as the hybrid
+  // phase's high-degree sweep does.
+  for (Vertex v = 0; v < 10; ++v) {
+    const BlockId from = b.block_of(v);
+    if (b.block_size(from) <= 1) continue;
+    const auto to = static_cast<BlockId>((from + 1) % 3);
+    b.move_vertex(g.graph, v, to);
+    ws.sync_move(v, from, to);
+  }
+  EXPECT_EQ(snapshot_assignment(ws.shared), b.assignment());
+  for (BlockId r = 0; r < 3; ++r) {
+    EXPECT_EQ(ws.sizes[static_cast<std::size_t>(r)].load(), b.block_size(r));
+  }
 }
 
 }  // namespace
