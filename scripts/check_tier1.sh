@@ -13,9 +13,12 @@
 #                     stage (it is also skipped when HSBP_SANITIZE is
 #                     set, since the whole suite is sanitized then)
 #   HSBP_SKIP_TSAN    set to 1 to skip the thread-sanitized pass over
-#                     the async/hybrid-labelled parallel suites (also
-#                     skipped when HSBP_SANITIZE is set — TSan cannot
-#                     combine with the address/leak runtimes)
+#                     the async/hybrid- and serve-labelled parallel
+#                     suites (also skipped when HSBP_SANITIZE is set —
+#                     TSan cannot combine with the address/leak
+#                     runtimes)
+#   HSBP_SKIP_SERVE   set to 1 to skip the serve smoke stage (daemon on
+#                     an ephemeral socket + concurrent-load bench)
 #   HSBP_TSAN_THREADS OpenMP thread count for the TSan stage (default
 #                     4: races need real concurrency even on single-CPU
 #                     machines, where OpenMP would otherwise run one
@@ -53,9 +56,10 @@ if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_FAULT:-0}" != "1" ]]; then
   (cd "$FAULT_DIR" && ctest --output-on-failure -j "$JOBS" -L fault)
 fi
 
-# Stage 3: rebuild the async/hybrid-labelled parallel suites under
-# TSan — the single-writer-per-vertex/move-log protocol (DESIGN §11)
-# is exactly the kind of claim only a thread sanitizer can audit. Runs
+# Stage 3: rebuild the async/hybrid- and serve-labelled parallel
+# suites under TSan — the single-writer-per-vertex/move-log protocol
+# (DESIGN §11) and the serve snapshot-swap contract (DESIGN §12) are
+# exactly the kind of claims only a thread sanitizer can audit. Runs
 # with a fixed OpenMP thread count so single-CPU machines still get
 # real interleavings.
 if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_TSAN:-0}" != "1" ]]; then
@@ -64,7 +68,32 @@ if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build "$TSAN_DIR" -j "$JOBS"
   (cd "$TSAN_DIR" &&
    OMP_NUM_THREADS="${HSBP_TSAN_THREADS:-4}" \
-     ctest --output-on-failure -j "$JOBS" -L async)
+     ctest --output-on-failure -j "$JOBS" -L 'async|serve')
+fi
+
+# Stage 3b: serve smoke — start the real daemon on an ephemeral Unix
+# socket, run the concurrent-load bench against it in smoke mode (>= 4
+# client threads querying while edge batches refit), and require a
+# clean SIGTERM drain (exit 0). This is the end-to-end path no unit
+# test covers: real binary, real signals, real sockets.
+if [[ "${HSBP_SKIP_SERVE:-0}" != "1" ]]; then
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target hsbp_cli ext_serving
+  SERVE_SOCK="$(mktemp -u /tmp/hsbp_smoke_XXXXXX.sock)"
+  SERVE_GRAPH_DIR="$(mktemp -d /tmp/hsbp_smoke_graph_XXXXXX)"
+  trap 'rm -rf "$SERVE_SOCK" "$SERVE_GRAPH_DIR"' EXIT
+  "$BUILD_DIR/tools/hsbp" generate --suite synthetic --scale 0.0005 \
+      --only S2 --outdir "$SERVE_GRAPH_DIR"
+  "$BUILD_DIR/tools/hsbp" serve "$SERVE_GRAPH_DIR/S2.mtx" \
+      --socket "$SERVE_SOCK" --seed 3 &
+  SERVE_PID=$!
+  for _ in $(seq 1 300); do [[ -S "$SERVE_SOCK" ]] && break; sleep 0.1; done
+  [[ -S "$SERVE_SOCK" ]] || { kill "$SERVE_PID" 2>/dev/null; \
+      echo "serve smoke: daemon never bound its socket" >&2; exit 1; }
+  HSBP_BENCH_SMOKE=1 "$BUILD_DIR/bench/ext_serving" \
+      --socket "$SERVE_SOCK" --graph S2 --clients 4 --batches 2
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"  # set -e: a non-zero drain fails the stage
+  echo "serve smoke: clean drain"
 fi
 
 # Stage 4 (opt-in): bench smoke — every kernel bench must still build

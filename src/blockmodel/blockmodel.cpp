@@ -170,30 +170,33 @@ void Blockmodel::move_vertex(const Graph& graph, Vertex v, BlockId to) {
   const BlockId from = assignment_[static_cast<std::size_t>(v)];
   if (from == to) return;
   assert(to >= 0 && to < num_blocks_);
-
   // Each edge incident on v is touched exactly once: out-edges cover the
   // self-loop case (v, v); in-edges skip u == v to avoid double counting.
-  // add_cell keeps the Σ xlogx(M_rs) fixed-point sum in step with every
-  // cell change.
+  // The Σ xlogx(M_rs) step terms (one canonical step-table lookup per
+  // ±1 cell change) accumulate in a local before one flush into the
+  // fixed-point member — integer addition keeps the sum bit-identical
+  // to any other grouping.
+  LlFixed ll_delta = 0;
   for (const Vertex u : graph.out_neighbors(v)) {
     const BlockId ub = (u == v) ? from : assignment_[static_cast<std::size_t>(u)];
-    add_cell(from, ub, -1);
+    ll_delta += remove_cell_unit(from, ub);
   }
   for (const Vertex u : graph.in_neighbors(v)) {
     if (u == v) continue;
-    add_cell(assignment_[static_cast<std::size_t>(u)], from, -1);
+    ll_delta += remove_cell_unit(assignment_[static_cast<std::size_t>(u)], from);
   }
 
   assignment_[static_cast<std::size_t>(v)] = to;
 
   for (const Vertex u : graph.out_neighbors(v)) {
     const BlockId ub = (u == v) ? to : assignment_[static_cast<std::size_t>(u)];
-    add_cell(to, ub, +1);
+    ll_delta += insert_cell_unit(to, ub);
   }
   for (const Vertex u : graph.in_neighbors(v)) {
     if (u == v) continue;
-    add_cell(assignment_[static_cast<std::size_t>(u)], to, +1);
+    ll_delta += insert_cell_unit(assignment_[static_cast<std::size_t>(u)], to);
   }
+  ll_cells_ += ll_delta;
 
   const Count out_deg = graph.out_degree(v);
   const Count in_deg = graph.in_degree(v);

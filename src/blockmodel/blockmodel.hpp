@@ -96,10 +96,20 @@ class Blockmodel {
  private:
   void build_from(const graph::Graph& graph);
 
-  /// m_.add plus maintenance of the Σ xlogx(M_rs) fixed-point sum.
-  void add_cell(BlockId row, BlockId col, Count delta) {
-    const Count value = m_.add(row, col, delta);
-    ll_cells_ += xlogx_fixed(value) - xlogx_fixed(value - delta);
+  /// m_.add(row, col, +1) returning the canonical quantized change to
+  /// Σ xlogx(M_rs) — a single step-table lookup. Callers accumulate the
+  /// returned terms locally (a register, not the __int128 member) and
+  /// flush once per move; integer addition makes the grouping
+  /// irrelevant to the final sum.
+  LlFixed insert_cell_unit(BlockId row, BlockId col) {
+    const Count value = m_.add(row, col, +1);
+    return xlogx_fixed_step(value - 1);
+  }
+
+  /// m_.add(row, col, -1) counterpart of insert_cell_unit().
+  LlFixed remove_cell_unit(BlockId row, BlockId col) {
+    const Count value = m_.add(row, col, -1);
+    return -xlogx_fixed_step(value);
   }
 
   BlockId num_blocks_ = 0;

@@ -4,19 +4,6 @@
 
 namespace hsbp::blockmodel {
 
-Count DictTransposeMatrix::add(BlockId row, BlockId col, Count delta) {
-  if (delta == 0) return rows_[static_cast<std::size_t>(row)].get(col);
-  Count new_value = 0;
-  const int created =
-      rows_[static_cast<std::size_t>(row)].add(col, delta, new_value);
-  const int mirror = cols_[static_cast<std::size_t>(col)].add(row, delta);
-  assert(created == mirror && "row/column mirror diverged");
-  (void)mirror;
-  nnz_ = static_cast<std::size_t>(static_cast<std::int64_t>(nnz_) + created);
-  total_ += delta;
-  return new_value;
-}
-
 bool DictTransposeMatrix::check_consistency() const {
   Count row_total = 0;
   std::size_t row_nnz = 0;

@@ -22,6 +22,7 @@
 ///     incrementally by add(), not recounted).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -50,7 +51,21 @@ class DictTransposeMatrix {
   /// Returns the cell's resulting value (0 when erased) so callers can
   /// maintain Σ f(M_rs) aggregates without a second lookup.
   /// \pre resulting value must be >= 0 (asserted).
-  Count add(BlockId row, BlockId col, Count delta);
+  /// Inline so move_vertex's ±1 deltas constant-propagate into the
+  /// FlatSlice fast path — this is called ~4·deg(v) times per move and
+  /// an out-of-line call here is measurable on BM_MoveVertexRoundTrip.
+  Count add(BlockId row, BlockId col, Count delta) {
+    if (delta == 0) return rows_[static_cast<std::size_t>(row)].get(col);
+    Count new_value = 0;
+    const int created =
+        rows_[static_cast<std::size_t>(row)].add(col, delta, new_value);
+    const int mirror = cols_[static_cast<std::size_t>(col)].add(row, delta);
+    assert(created == mirror && "row/column mirror diverged");
+    (void)mirror;
+    nnz_ = static_cast<std::size_t>(static_cast<std::int64_t>(nnz_) + created);
+    total_ += delta;
+    return new_value;
+  }
 
   const SparseSlice& row(BlockId r) const noexcept {
     return rows_[static_cast<std::size_t>(r)];

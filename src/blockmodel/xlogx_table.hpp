@@ -44,6 +44,12 @@ namespace detail {
 extern const double* const xlogx_table;
 /// xlogx_fixed_table[x] == rint(xlogx_table[x] * 2^kLlFixedShift).
 extern const std::int64_t* const xlogx_fixed_table;
+/// xlogx_fixed_step_table[x] == xlogx_fixed(x+1) - xlogx_fixed(x): the
+/// canonical quantized change of a Σ xlogx sum when a count steps
+/// x → x+1. Differences of the canonical per-count values, never a
+/// separately rounded quantity, so step-maintained sums stay
+/// bit-identical to rescans.
+extern const std::int64_t* const xlogx_fixed_step_table;
 }  // namespace detail
 
 /// x·log x for a non-negative integer count: table lookup below
@@ -65,6 +71,18 @@ inline LlFixed xlogx_fixed(Count x) noexcept {
   }
   const double xd = static_cast<double>(x);
   return static_cast<LlFixed>(std::rint(xd * std::log(xd) * 0x1p40));
+}
+
+/// F(x+1) − F(x) for the canonical quantized xlogx: the exact amount a
+/// Σ xlogx(count) accumulator changes when one count steps x → x+1.
+/// One table lookup where the plain formulation needs two — this is
+/// what keeps move_vertex's per-edge likelihood maintenance cheap.
+/// \pre x >= 0.
+inline LlFixed xlogx_fixed_step(Count x) noexcept {
+  if (static_cast<std::uint64_t>(x) < kXlogxTableSize) {
+    return detail::xlogx_fixed_step_table[static_cast<std::size_t>(x)];
+  }
+  return xlogx_fixed(x + 1) - xlogx_fixed(x);
 }
 
 /// Decodes a fixed-point Σ xlogx accumulator back to double.

@@ -15,6 +15,7 @@ namespace {
 constexpr char kMagic[8] = {'H', 'S', 'B', 'P', 'C', 'K', 'P', 'T'};
 constexpr std::uint8_t kKindSbp = 1;
 constexpr std::uint8_t kKindSample = 2;
+constexpr std::uint8_t kKindServe = 3;
 
 // ------------------------------------------------- little-endian codec
 
@@ -140,7 +141,11 @@ std::string seal(std::uint8_t kind, const std::string& payload) {
 }
 
 const char* kind_name(std::uint8_t kind) {
-  return kind == kKindSbp ? "sbp-run" : "sample-pipeline";
+  switch (kind) {
+    case kKindSbp: return "sbp-run";
+    case kKindSample: return "sample-pipeline";
+    default: return "serve-snapshot";
+  }
 }
 
 /// Verifies the envelope and returns the payload bytes.
@@ -164,7 +169,7 @@ std::string open_envelope(const std::string& path, std::uint8_t want_kind) {
                     std::to_string(kFormatVersion));
   }
   const std::uint8_t kind = head.u8();
-  if (kind != kKindSbp && kind != kKindSample) {
+  if (kind != kKindSbp && kind != kKindSample && kind != kKindServe) {
     throw DataError("checkpoint '" + path + "' has unknown kind " +
                     std::to_string(kind));
   }
@@ -397,6 +402,81 @@ SampleCheckpoint load_sample_checkpoint(const std::string& path) {
     ckpt.isolated_assigned = r.i64();
   }
   r.expect_end();
+  return ckpt;
+}
+
+// ------------------------------------------------------ serve-snapshot
+
+void save_serve_checkpoint(const std::string& path,
+                           const ServeCheckpoint& ckpt,
+                           FaultInjector* fault) {
+  ByteWriter w;
+  write_fingerprint(w, ckpt.graph);
+  w.u64(ckpt.epoch);
+  w.i32(ckpt.num_vertices);
+  w.u64(ckpt.edges.size());
+  for (const auto& [u, v] : ckpt.edges) {
+    w.i32(u);
+    w.i32(v);
+  }
+  w.i32_vector(ckpt.assignment);
+  w.i32(ckpt.num_blocks);
+  w.f64(ckpt.mdl);
+  atomic_write_file(path, seal(kKindServe, w.str()), fault);
+}
+
+ServeCheckpoint load_serve_checkpoint(const std::string& path) {
+  // The payload must outlive the reader (ByteReader is a view).
+  const std::string payload = open_envelope(path, kKindServe);
+  ByteReader r(payload);
+  ServeCheckpoint ckpt;
+  ckpt.graph = read_fingerprint(r);
+  ckpt.epoch = r.u64();
+  ckpt.num_vertices = r.i32();
+  const std::uint64_t edge_count = r.u64();
+  if (edge_count > r.remaining() / 8) {
+    throw DataError("checkpoint '" + path +
+                    "': edge count exceeds payload");
+  }
+  ckpt.edges.reserve(static_cast<std::size_t>(edge_count));
+  for (std::uint64_t e = 0; e < edge_count; ++e) {
+    const std::int32_t u = r.i32();
+    const std::int32_t v = r.i32();
+    if (u < 0 || u >= ckpt.num_vertices || v < 0 ||
+        v >= ckpt.num_vertices) {
+      throw DataError("checkpoint '" + path + "': edge " +
+                      std::to_string(e) + " endpoint outside [0, " +
+                      std::to_string(ckpt.num_vertices) + ")");
+    }
+    ckpt.edges.emplace_back(u, v);
+  }
+  ckpt.assignment = r.i32_vector();
+  ckpt.num_blocks = r.i32();
+  ckpt.mdl = r.f64();
+  r.expect_end();
+
+  if (ckpt.assignment.size() !=
+      static_cast<std::size_t>(ckpt.num_vertices)) {
+    throw DataError("checkpoint '" + path + "': assignment covers " +
+                    std::to_string(ckpt.assignment.size()) + " of " +
+                    std::to_string(ckpt.num_vertices) + " vertices");
+  }
+  for (const std::int32_t label : ckpt.assignment) {
+    if (label < 0 || label >= ckpt.num_blocks) {
+      throw DataError("checkpoint '" + path +
+                      "': assignment label outside [0, " +
+                      std::to_string(ckpt.num_blocks) + ")");
+    }
+  }
+  // The stored fingerprint must describe the stored edges: a mismatch
+  // means the payload was assembled from two different snapshots.
+  const graph::Graph rebuilt =
+      graph::Graph::from_edges(ckpt.num_vertices, ckpt.edges);
+  if (!(fingerprint(rebuilt) == ckpt.graph)) {
+    throw DataError("checkpoint '" + path +
+                    "': stored edges do not match the stored graph "
+                    "fingerprint");
+  }
   return ckpt;
 }
 

@@ -1,11 +1,12 @@
 /// \file checkpoint.hpp
 /// \brief Versioned, CRC-checksummed snapshot format for long runs.
 ///
-/// One envelope, two payload kinds:
+/// One envelope, three payload kinds:
 ///
 ///   ┌──────────────────────────────────────────────────────────┐
 ///   │ magic "HSBPCKPT" (8)                                     │
-///   │ u32 format version · u8 kind (1=sbp-run, 2=sample-pipe)  │
+///   │ u32 format version · u8 kind                             │
+///   │   (1=sbp-run, 2=sample-pipe, 3=serve-snapshot)           │
 ///   │ u64 payload size · payload bytes                         │
 ///   │ u32 CRC-32 over everything between magic and this field  │
 ///   └──────────────────────────────────────────────────────────┘
@@ -29,6 +30,13 @@
 /// completed (partition or extrapolate) with that stage's outputs; the
 /// cheap deterministic stages (sampling, fine-tune) are replayed on
 /// resume rather than stored.
+///
+/// The serve-snapshot payload is a published snapshot of the serving
+/// daemon (`hsbp serve`): the full edge list of the graph as served —
+/// streamed INGEST batches included, which is why the edges are stored
+/// rather than re-read from the original file — plus the partition,
+/// MDL, and publish epoch. A resumed daemon rebuilds the CSR from the
+/// edges and serves the exact snapshot it last published.
 #pragma once
 
 #include <cstdint>
@@ -121,6 +129,31 @@ void save_sample_checkpoint(const std::string& path,
                             FaultInjector* fault = nullptr);
 
 SampleCheckpoint load_sample_checkpoint(const std::string& path);
+
+// ------------------------------------------------------ serve-snapshot
+
+/// One published snapshot of the serving daemon: enough to rebuild the
+/// graph as served (original file plus every ingested batch) and the
+/// partition bit-exact. `graph` fingerprints the *stored* edge list so
+/// a corrupted or hand-swapped file fails loudly on load.
+struct ServeCheckpoint {
+  GraphFingerprint graph;
+  std::uint64_t epoch = 0;
+  std::int32_t num_vertices = 0;
+  std::vector<graph::Edge> edges;
+  std::vector<std::int32_t> assignment;
+  std::int32_t num_blocks = 0;
+  double mdl = 0.0;
+};
+
+void save_serve_checkpoint(const std::string& path,
+                           const ServeCheckpoint& ckpt,
+                           FaultInjector* fault = nullptr);
+
+/// \throws util::IoError if unreadable, util::DataError if invalid —
+/// including when the stored edge list no longer matches the stored
+/// fingerprint or the assignment does not cover the vertex set.
+ServeCheckpoint load_serve_checkpoint(const std::string& path);
 
 // ------------------------------------------------------------- helpers
 

@@ -1,15 +1,22 @@
 #include "ckpt/shutdown.hpp"
 
+#include <atomic>
 #include <csignal>
 
 namespace hsbp::ckpt {
 
 namespace {
 
-volatile std::sig_atomic_t g_shutdown = 0;
+// std::atomic, not volatile sig_atomic_t: the flag is read from worker
+// threads (sbp outer loop, serve session/refit threads), not just from
+// the installing thread, so it needs thread-safety as well as
+// async-signal-safety. Lock-free atomics give both.
+std::atomic<int> g_shutdown{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
 
 extern "C" void handle_shutdown_signal(int signum) {
-  g_shutdown = 1;
+  g_shutdown.store(1, std::memory_order_relaxed);
   // One signal asks nicely; the next one kills. Restoring the default
   // disposition here is async-signal-safe.
   std::signal(signum, SIG_DFL);
@@ -22,10 +29,16 @@ void install_shutdown_handlers() noexcept {
   std::signal(SIGTERM, handle_shutdown_signal);
 }
 
-bool shutdown_requested() noexcept { return g_shutdown != 0; }
+bool shutdown_requested() noexcept {
+  return g_shutdown.load(std::memory_order_relaxed) != 0;
+}
 
-void request_shutdown() noexcept { g_shutdown = 1; }
+void request_shutdown() noexcept {
+  g_shutdown.store(1, std::memory_order_relaxed);
+}
 
-void clear_shutdown() noexcept { g_shutdown = 0; }
+void clear_shutdown() noexcept {
+  g_shutdown.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace hsbp::ckpt

@@ -1,8 +1,9 @@
 /// \file shutdown.hpp
 /// \brief Graceful-shutdown flag for long runs.
 ///
-/// install_shutdown_handlers() routes SIGINT/SIGTERM to a
-/// sig_atomic_t flag; the drivers poll shutdown_requested() at phase
+/// install_shutdown_handlers() routes SIGINT/SIGTERM to a lock-free
+/// atomic flag (async-signal-safe *and* safe to poll from worker
+/// threads); the drivers poll shutdown_requested() at phase
 /// and stage boundaries, finish the in-flight pass, write a final
 /// checkpoint, and return the best-so-far partition with
 /// `interrupted = true` instead of dying mid-write. A second signal

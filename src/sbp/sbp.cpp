@@ -276,6 +276,29 @@ SbpResult run_warm(const Graph& graph, const SbpConfig& config,
                    std::span<const std::int32_t> assignment,
                    blockmodel::BlockId num_blocks) {
   validate(graph, config);
+  // Enforce the documented precondition: labels dense in
+  // [0, num_blocks). from_assignment catches out-of-range labels, but
+  // an unused label would silently seed the search with an empty block
+  // — the merge phase can never fold it away (no edges to score), so
+  // fail loudly instead.
+  {
+    std::vector<bool> used(static_cast<std::size_t>(
+                               std::max<blockmodel::BlockId>(num_blocks, 0)),
+                           false);
+    for (const std::int32_t label : assignment) {
+      if (label >= 0 && label < num_blocks) {
+        used[static_cast<std::size_t>(label)] = true;
+      }
+    }
+    for (std::size_t b = 0; b < used.size(); ++b) {
+      if (!used[b]) {
+        throw std::invalid_argument(
+            "run_warm: assignment labels are not dense in [0, " +
+            std::to_string(num_blocks) + ") — block " + std::to_string(b) +
+            " is empty");
+      }
+    }
+  }
   // from_assignment validates sizes/labels and evaluates the partition.
   Blockmodel warm = Blockmodel::from_assignment(graph, assignment,
                                                 num_blocks);

@@ -1,0 +1,94 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/protocol.hpp"
+#include "util/errors.hpp"
+
+namespace hsbp::serve {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client Client::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw util::IoError(std::string("client: socket: ") +
+                        std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw util::IoError("client: socket path '" + path +
+                        "' exceeds sun_path");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw util::IoError("client: cannot connect to '" + path +
+                        "': " + reason);
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+Client Client::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw util::IoError(std::string("client: socket: ") +
+                        std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw util::IoError("client: cannot connect to 127.0.0.1:" +
+                        std::to_string(port) + ": " + reason);
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+std::optional<std::string> Client::request(std::string_view payload) {
+  if (fd_ < 0) return std::nullopt;
+  if (!write_frame(fd_, payload)) {
+    close();
+    return std::nullopt;
+  }
+  std::string reply;
+  if (!read_frame(fd_, reply)) {
+    close();
+    return std::nullopt;
+  }
+  return reply;
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace hsbp::serve

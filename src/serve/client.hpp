@@ -1,0 +1,43 @@
+/// \file client.hpp
+/// \brief Minimal blocking client for the serve protocol.
+///
+/// One connection, synchronous request/reply — exactly what the load
+/// bench's client threads, the serve tests, and `hsbp query` need. Not
+/// a connection pool; open one Client per thread.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hsbp::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a Unix-domain socket. \throws util::IoError.
+  static Client connect_unix(const std::string& path);
+
+  /// Connects to 127.0.0.1:port. \throws util::IoError.
+  static Client connect_tcp(int port);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one request payload and reads one reply. nullopt when the
+  /// server hung up (after SHUTDOWN, or a frame violation).
+  std::optional<std::string> request(std::string_view payload);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace hsbp::serve

@@ -1,0 +1,252 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <sstream>
+
+namespace hsbp::serve {
+
+namespace {
+
+/// Splits the payload into whitespace-separated tokens.
+std::vector<std::string_view> tokenize(std::string_view payload) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < payload.size()) {
+    while (i < payload.size() &&
+           (payload[i] == ' ' || payload[i] == '\t' || payload[i] == '\n' ||
+            payload[i] == '\r')) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < payload.size() && payload[i] != ' ' && payload[i] != '\t' &&
+           payload[i] != '\n' && payload[i] != '\r') {
+      ++i;
+    }
+    if (i > start) tokens.push_back(payload.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool parse_int(std::string_view token, std::int64_t& out) {
+  const auto* first = token.data();
+  const auto* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+bool parse_vertex(std::string_view token, std::int32_t& out) {
+  std::int64_t wide = 0;
+  if (!parse_int(token, wide) || wide < 0 || wide > INT32_MAX) return false;
+  out = static_cast<std::int32_t>(wide);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view payload,
+                                     std::string& error) {
+  const auto tokens = tokenize(payload);
+  if (tokens.empty()) {
+    error = "empty request";
+    return std::nullopt;
+  }
+  const std::string_view verb = tokens.front();
+  Request request;
+
+  const auto need = [&](std::size_t arity, const char* usage) {
+    if (tokens.size() == arity) return true;
+    error = std::string(verb) + ": expected '" + usage + "'";
+    return false;
+  };
+
+  if (verb == "PING") {
+    if (!need(1, "PING")) return std::nullopt;
+    request.verb = Verb::Ping;
+    return request;
+  }
+  if (verb == "LIST") {
+    if (!need(1, "LIST")) return std::nullopt;
+    request.verb = Verb::List;
+    return request;
+  }
+  if (verb == "STATS") {
+    if (!need(1, "STATS")) return std::nullopt;
+    request.verb = Verb::Stats;
+    return request;
+  }
+  if (verb == "SHUTDOWN") {
+    if (!need(1, "SHUTDOWN")) return std::nullopt;
+    request.verb = Verb::Shutdown;
+    return request;
+  }
+  if (verb == "INFO" || verb == "MODULARITY" || verb == "MDL" ||
+      verb == "EPOCH") {
+    if (tokens.size() != 2) {
+      error = std::string(verb) + ": expected '" + std::string(verb) +
+              " <graph>'";
+      return std::nullopt;
+    }
+    request.verb = verb == "INFO"         ? Verb::Info
+                   : verb == "MODULARITY" ? Verb::Modularity
+                   : verb == "MDL"        ? Verb::Mdl
+                                          : Verb::Epoch;
+    request.graph = std::string(tokens[1]);
+    return request;
+  }
+  if (verb == "MEMBER" || verb == "COMMUNITY") {
+    if (tokens.size() != 3) {
+      error = std::string(verb) + ": expected '" + std::string(verb) +
+              " <graph> <id>'";
+      return std::nullopt;
+    }
+    request.verb = verb == "MEMBER" ? Verb::Member : Verb::Community;
+    request.graph = std::string(tokens[1]);
+    if (!parse_int(tokens[2], request.argument) || request.argument < 0) {
+      error = std::string(verb) + ": '" + std::string(tokens[2]) +
+              "' is not a non-negative integer";
+      return std::nullopt;
+    }
+    return request;
+  }
+  if (verb == "INGEST") {
+    if (tokens.size() < 3) {
+      error = "INGEST: expected 'INGEST <graph> <count> u1 v1 ...'";
+      return std::nullopt;
+    }
+    request.verb = Verb::Ingest;
+    request.graph = std::string(tokens[1]);
+    std::int64_t count = 0;
+    if (!parse_int(tokens[2], count) || count < 1) {
+      error = "INGEST: edge count '" + std::string(tokens[2]) +
+              "' is not a positive integer";
+      return std::nullopt;
+    }
+    if (tokens.size() != 3 + 2 * static_cast<std::size_t>(count)) {
+      error = "INGEST: announced " + std::to_string(count) +
+              " edges but carries " +
+              std::to_string((tokens.size() - 3) / 2) + " endpoint pairs";
+      return std::nullopt;
+    }
+    request.edges.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t e = 0; e < count; ++e) {
+      std::int32_t u = 0;
+      std::int32_t v = 0;
+      if (!parse_vertex(tokens[3 + 2 * static_cast<std::size_t>(e)], u) ||
+          !parse_vertex(tokens[4 + 2 * static_cast<std::size_t>(e)], v)) {
+        error = "INGEST: edge " + std::to_string(e) +
+                " has a non-vertex endpoint";
+        return std::nullopt;
+      }
+      request.edges.emplace_back(u, v);
+    }
+    return request;
+  }
+  error = "unknown verb '" + std::string(verb) + "'";
+  return std::nullopt;
+}
+
+std::string format_ingest(
+    std::string_view graph,
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& edges) {
+  std::ostringstream out;
+  out << "INGEST " << graph << ' ' << edges.size();
+  for (const auto& [u, v] : edges) out << ' ' << u << ' ' << v;
+  return out.str();
+}
+
+std::string ok_reply(std::string_view detail) {
+  std::string reply = "OK";
+  if (!detail.empty()) {
+    reply += ' ';
+    reply += detail;
+  }
+  return reply;
+}
+
+std::string err_reply(std::string_view reason) {
+  std::string reply = "ERR";
+  if (!reason.empty()) {
+    reply += ' ';
+    reply += reason;
+  }
+  return reply;
+}
+
+bool is_ok(std::string_view reply) noexcept {
+  return reply == "OK" || reply.substr(0, 3) == "OK ";
+}
+
+// ----------------------------------------------------------- frame I/O
+
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t size) noexcept {
+  while (size > 0) {
+    // MSG_NOSIGNAL: a peer that hung up mid-reply must surface as EPIPE
+    // (frame failure → session close), not a process-killing SIGPIPE in
+    // whichever thread happened to be writing.
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `size` bytes; false on EOF/error. `saw_byte` reports
+/// whether anything at all arrived (distinguishes clean EOF from torn).
+bool read_all(int fd, char* data, std::size_t size, bool& saw_byte) noexcept {
+  while (size > 0) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    saw_byte = true;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, std::string_view payload) noexcept {
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  if (payload.size() > kMaxFrameBytes) return false;
+  char prefix[4];
+  prefix[0] = static_cast<char>(size & 0xff);
+  prefix[1] = static_cast<char>((size >> 8) & 0xff);
+  prefix[2] = static_cast<char>((size >> 16) & 0xff);
+  prefix[3] = static_cast<char>((size >> 24) & 0xff);
+  return write_all(fd, prefix, 4) && write_all(fd, payload.data(), size);
+}
+
+bool read_frame(int fd, std::string& payload) noexcept {
+  char prefix[4];
+  bool saw_byte = false;
+  if (!read_all(fd, prefix, 4, saw_byte)) return false;
+  const std::uint32_t size =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+       << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]))
+       << 24);
+  if (size > kMaxFrameBytes) return false;
+  payload.resize(size);
+  if (size == 0) return true;
+  return read_all(fd, payload.data(), size, saw_byte);
+}
+
+}  // namespace hsbp::serve

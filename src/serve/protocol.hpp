@@ -1,0 +1,108 @@
+/// \file protocol.hpp
+/// \brief Wire protocol of the partition-serving daemon (`hsbp serve`).
+///
+/// Framing: every message — request and reply alike — is one frame,
+///
+///   ┌───────────────────────────────────────────────┐
+///   │ u32 little-endian payload length · payload    │
+///   └───────────────────────────────────────────────┘
+///
+/// with the payload a UTF-8 text line of space-separated tokens (no
+/// trailing newline required). Length-prefixing keeps reads exact —
+/// a client never scans for a delimiter and an INGEST batch may be
+/// arbitrarily token-dense — while the text payload stays greppable
+/// and scriptable (`hsbp query` sends exactly what you type).
+///
+/// Requests (first token = verb, case-sensitive):
+///
+///   PING                          liveness probe
+///   LIST                          names of the served graphs
+///   INFO <graph>                  V/E/blocks/epoch/mdl of the snapshot
+///   MEMBER <graph> <vertex>       community of one vertex
+///   COMMUNITY <graph> <block>     member vertices of one community
+///   MODULARITY <graph>            modularity of the served partition
+///   MDL <graph>                   description length + block count
+///   EPOCH <graph>                 snapshot epoch (bumps per refit)
+///   INGEST <graph> <k> u1 v1 ...  append k edges, schedule a refit
+///   STATS                         server-wide counters
+///   SHUTDOWN                      graceful drain (same path as SIGTERM)
+///
+/// Replies start with `OK` (followed by verb-specific tokens) or `ERR`
+/// (followed by a human-readable reason). A malformed request — unknown
+/// verb, wrong arity, non-numeric argument, unknown graph, out-of-range
+/// vertex — is always an `ERR` reply on the same connection, never a
+/// dropped connection or a daemon exit. Only an unreadable frame
+/// (oversized length prefix or a half-closed peer) ends the session.
+///
+/// This header is deliberately socket-free: parse/format round-trip in
+/// unit tests without a daemon, and the fd-based frame I/O helpers are
+/// the only POSIX-touching pieces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsbp::serve {
+
+/// Hard ceiling on one frame's payload (guards the reader against a
+/// garbage length prefix; a 16 MiB INGEST batch is ~1M edges).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class Verb {
+  Ping,
+  List,
+  Info,
+  Member,
+  Community,
+  Modularity,
+  Mdl,
+  Epoch,
+  Ingest,
+  Stats,
+  Shutdown,
+};
+
+/// A parsed request. Numeric arguments are validated during parsing;
+/// graph-name existence is the server's job.
+struct Request {
+  Verb verb = Verb::Ping;
+  std::string graph;               ///< verbs that target a graph
+  std::int64_t argument = 0;       ///< MEMBER vertex / COMMUNITY block
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;  ///< INGEST
+};
+
+/// Parses one request payload. Returns the request, or an ERR reason
+/// in `error` (and nullopt) when the payload is malformed — the caller
+/// turns that into an `ERR` reply, keeping the session alive.
+std::optional<Request> parse_request(std::string_view payload,
+                                     std::string& error);
+
+/// Formats an INGEST request payload (the client-side inverse of
+/// parse_request; the bench builds its batches through this).
+std::string format_ingest(
+    std::string_view graph,
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& edges);
+
+/// `OK ...` / `ERR ...` helpers so every reply spells status the same.
+std::string ok_reply(std::string_view detail);
+std::string err_reply(std::string_view reason);
+
+/// True when `reply` begins with "OK" (token-exact, not prefix-loose).
+bool is_ok(std::string_view reply) noexcept;
+
+// ---------------------------------------------------------- frame I/O
+
+/// Writes one frame (length prefix + payload) to `fd`, retrying short
+/// writes. Returns false on EOF/error (peer gone).
+bool write_frame(int fd, std::string_view payload) noexcept;
+
+/// Reads one frame from `fd` into `payload`. Returns false on a clean
+/// EOF before any byte, a torn frame, or an oversized length prefix.
+/// Blocks until a full frame arrives (callers poll() first when they
+/// need cancellation).
+bool read_frame(int fd, std::string& payload) noexcept;
+
+}  // namespace hsbp::serve

@@ -1,0 +1,55 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+
+namespace hsbp::serve {
+
+std::shared_ptr<const Snapshot> make_snapshot(
+    std::shared_ptr<const graph::Graph> graph,
+    std::vector<std::int32_t> assignment, blockmodel::BlockId num_blocks,
+    double mdl, std::uint64_t epoch) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->modularity = metrics::modularity(*graph, assignment);
+  snapshot->graph = std::move(graph);
+  snapshot->assignment = std::move(assignment);
+  snapshot->num_blocks = num_blocks;
+  snapshot->mdl = mdl;
+  snapshot->epoch = epoch;
+  return snapshot;
+}
+
+GraphStore& Registry::add(std::string name) {
+  for (const auto& store : stores_) {
+    if (store->name() == name) {
+      throw std::invalid_argument("serve: duplicate graph name '" + name +
+                                  "'");
+    }
+  }
+  stores_.push_back(std::make_unique<GraphStore>(std::move(name)));
+  return *stores_.back();
+}
+
+GraphStore* Registry::find(std::string_view name) noexcept {
+  for (const auto& store : stores_) {
+    if (store->name() == name) return store.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(stores_.size());
+  for (const auto& store : stores_) out.push_back(store->name());
+  return out;
+}
+
+std::vector<GraphStore*> Registry::stores() noexcept {
+  std::vector<GraphStore*> out;
+  out.reserve(stores_.size());
+  for (const auto& store : stores_) out.push_back(store.get());
+  return out;
+}
+
+}  // namespace hsbp::serve

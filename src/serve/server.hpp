@@ -1,0 +1,135 @@
+/// \file server.hpp
+/// \brief `hsbpd` — the long-lived partition-serving daemon behind
+/// `hsbp serve`.
+///
+/// Thread structure (all standard threads; OpenMP only inside fits):
+///
+///   accept loop ──► one session thread per connection ──► Registry
+///                                                           ▲
+///   RefitScheduler (one background thread) ─ publishes ─────┘
+///
+/// Sessions answer queries against the snapshot they acquire() per
+/// request — reads are wait-free after the two-pointer-write critical
+/// section in GraphStore — so queries keep flowing at full rate while
+/// a refit runs. Every blocking point (accept, session read) is a
+/// poll() with a short timeout that re-checks the stop flag, which is
+/// how SIGTERM turns into a drain: stop accepting, let every session
+/// finish its in-flight request, stop the refit scheduler (which
+/// finishes and publishes its in-flight fit), write the final
+/// checkpoints, return. The CLI then exits 0.
+///
+/// start() binds a Unix socket (options.socket_path) or a loopback TCP
+/// port (options.tcp_port, 0 = ephemeral); a failure to bind throws
+/// BindError, which the CLI maps to EX_UNAVAILABLE (69).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/refit.hpp"
+#include "serve/registry.hpp"
+#include "util/errors.hpp"
+
+namespace hsbp::serve {
+
+/// The daemon cannot take its address: socket path occupied or
+/// unreachable, TCP port in use. CLI exit code 69 (EX_UNAVAILABLE).
+struct BindError : util::IoError {
+  using util::IoError::IoError;
+};
+
+struct ServeOptions {
+  /// Unix-domain socket path; mutually exclusive with tcp_port >= 0.
+  std::string socket_path;
+  /// Loopback TCP port; 0 picks an ephemeral port (see Server::port()).
+  int tcp_port = -1;
+  RefitConfig refit;
+  /// Load `<checkpoint_dir>/<name>.serve.ckpt` instead of cold-fitting
+  /// when the file exists (graphs without one are still cold-fitted).
+  bool resume = false;
+};
+
+struct ServerStats {
+  std::uint64_t queries = 0;   ///< requests answered (OK and ERR alike)
+  std::uint64_t errors = 0;    ///< ERR replies among them
+  std::uint64_t ingests = 0;   ///< INGEST batches accepted
+  std::uint64_t refits = 0;    ///< refit epochs published
+  std::uint64_t sessions = 0;  ///< connections accepted
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a graph to serve (before start()). The initial fit (or
+  /// checkpoint resume) happens in start().
+  /// \throws std::invalid_argument on a duplicate name or empty graph.
+  void add_graph(const std::string& name, graph::Graph graph);
+
+  /// Binds the socket (fail-fast), then fits (or resumes) every
+  /// registered graph, persists the initial snapshots, and spawns the
+  /// accept + refit threads. \throws BindError when the address cannot
+  /// be taken.
+  void start();
+
+  /// Blocks until a stop is requested (request_stop(), the SHUTDOWN
+  /// verb, or ckpt::shutdown_requested() — i.e. SIGINT/SIGTERM), then
+  /// drains and returns. Equivalent to wait-then-stop().
+  void run();
+
+  /// Flags the daemon to stop; returns immediately.
+  void request_stop() noexcept;
+
+  /// Drains: stop accepting, join sessions after their in-flight
+  /// request, stop the refit scheduler, write final checkpoints.
+  /// Idempotent; safe to call without run().
+  void stop();
+
+  /// Bound TCP port (after start(); meaningful for tcp_port = 0).
+  int port() const noexcept { return bound_port_; }
+
+  ServerStats stats() const;
+
+  /// The underlying stores — for in-process tests asserting snapshot
+  /// identity without going through the wire format.
+  Registry& registry() noexcept { return registry_; }
+
+ private:
+  void start_impl();
+  void accept_loop();
+  void session_loop(int fd);
+  std::string handle(const std::string& payload);
+  void reap_finished_sessions();
+
+  const ServeOptions options_;
+  Registry registry_;
+  std::unique_ptr<RefitScheduler> scheduler_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> ingests_{0};
+  std::atomic<std::uint64_t> sessions_{0};
+
+  struct Session {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex sessions_mutex_;
+  std::vector<Session> session_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace hsbp::serve

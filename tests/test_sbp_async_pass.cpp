@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <algorithm>
 #include <numeric>
@@ -204,7 +205,15 @@ TEST(AsyncPass, NeverEmptiesSingletonBlocks) {
   }
 }
 
-TEST(AsyncPass, DeterministicForFixedThreadCountAndSeed) {
+TEST(AsyncPass, DeterministicForSingleThreadTeam) {
+  // The hogwild pass reads neighbors' *live* labels, so with more than
+  // one thread the accepted set depends on cross-thread visibility
+  // timing — the static schedule pins the vertex→RNG mapping, not the
+  // interleaving (TSan's scheduler perturbation surfaces this). The
+  // replayable contract is the single-thread team: same seed, same
+  // schedule, identical result, asserted exactly here. Multi-thread
+  // passes promise workspace validity (invariant tests above), not
+  // replay.
   generator::DcsbmParams p;
   p.num_vertices = 150;
   p.num_communities = 4;
@@ -215,6 +224,8 @@ TEST(AsyncPass, DeterministicForFixedThreadCountAndSeed) {
   std::vector<Vertex> all(150);
   std::iota(all.begin(), all.end(), 0);
 
+  const int prev_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
   const auto run_once = [&]() {
     PassWorkspace ws;
     ws.reset(b);
@@ -222,7 +233,10 @@ TEST(AsyncPass, DeterministicForFixedThreadCountAndSeed) {
     async_pass(g.graph, b, ws, all, 3.0, rngs);
     return snapshot_assignment(ws.shared);
   };
-  EXPECT_EQ(run_once(), run_once());
+  const auto first = run_once();
+  const auto second = run_once();
+  omp_set_num_threads(prev_threads);
+  EXPECT_EQ(first, second);
 }
 
 TEST(AsyncPass, EmptyVertexSetIsNoop) {

@@ -81,6 +81,41 @@ TEST(ExtendAssignment, EmptyPreviousPartition) {
   EXPECT_EQ(num_blocks, 1);
 }
 
+TEST(ExtendAssignment, AllNewVerticesWithoutLabeledNeighbors) {
+  // The arriving snapshot's new vertices form their own component: no
+  // new vertex touches a labeled one, so every one must be labeled by
+  // the orphan/chain rules alone — fresh block for the first vertex of
+  // the component, propagation down the chain — never left at -1.
+  const std::vector<Edge> edges = {{0, 1},          // old component
+                                   {2, 3}, {3, 4}}; // all-new component
+  const Graph g = Graph::from_edges(5, edges);
+  const std::vector<std::int32_t> old_labels = {0, 0};
+  blockmodel::BlockId num_blocks = 1;
+  const auto extended = extend_assignment(g, old_labels, num_blocks);
+  ASSERT_EQ(extended.size(), 5u);
+  EXPECT_EQ(extended[0], 0);
+  EXPECT_EQ(extended[1], 0);
+  // Vertex 2 has no labeled neighbor → fresh block; 3 and 4 chain off
+  // it. Labels stay dense in [0, num_blocks).
+  EXPECT_EQ(extended[2], 1);
+  EXPECT_EQ(extended[3], 1);
+  EXPECT_EQ(extended[4], 1);
+  EXPECT_EQ(num_blocks, 2);
+}
+
+TEST(ExtendAssignment, DisconnectedNewVerticesEachOpenABlock) {
+  // Two isolated new vertices: each is its own orphan and opens its own
+  // fresh block (they share no edge, so no propagation links them).
+  const std::vector<Edge> edges = {{0, 1}};
+  const Graph g = Graph::from_edges(4, edges);  // 2 and 3 isolated
+  const std::vector<std::int32_t> old_labels = {0, 0};
+  blockmodel::BlockId num_blocks = 1;
+  const auto extended = extend_assignment(g, old_labels, num_blocks);
+  EXPECT_EQ(extended[2], 1);
+  EXPECT_EQ(extended[3], 2);
+  EXPECT_EQ(num_blocks, 3);
+}
+
 TEST(ExtendAssignment, RejectsShrinkingVertexSet) {
   const Graph g = Graph::from_edges(2, {{{0, 1}}});
   const std::vector<std::int32_t> bigger = {0, 0, 1};
@@ -143,6 +178,30 @@ TEST(RunWarm, ValidatesAssignment) {
   SbpConfig config;
   std::vector<std::int32_t> bad(240, 7);  // label outside [0, 5)
   EXPECT_THROW(run_warm(g.graph, config, bad, 5), std::invalid_argument);
+}
+
+TEST(RunWarm, RejectsNonDenseLabels) {
+  // The documented precondition: labels dense in [0, num_blocks). An
+  // in-range but unused label would seed the merge-only search with an
+  // empty block it can never fold away — run_warm must fail loudly, not
+  // quietly degrade.
+  const auto g = planted(26);
+  SbpConfig config;
+  std::vector<std::int32_t> sparse(240);
+  for (std::size_t v = 0; v < sparse.size(); ++v) {
+    // Labels {0, 1, 3, 4} of [0, 5): block 2 is empty.
+    const auto raw = static_cast<std::int32_t>(v % 4);
+    sparse[v] = raw >= 2 ? raw + 1 : raw;
+  }
+  EXPECT_THROW(run_warm(g.graph, config, sparse, 5),
+               std::invalid_argument);
+  // The refine/extend pipeline always produces dense labels, so the
+  // same labels compacted to 4 blocks are accepted.
+  std::vector<std::int32_t> dense(240);
+  for (std::size_t v = 0; v < dense.size(); ++v) {
+    dense[v] = static_cast<std::int32_t>(v % 4);
+  }
+  EXPECT_NO_THROW(run_warm(g.graph, config, dense, 4));
 }
 
 TEST(RunStreaming, Validation) {

@@ -1,0 +1,189 @@
+// Wire protocol of the serving daemon: request parsing (including the
+// malformed-request taxonomy that must become ERR replies, never
+// connection drops), the OK/ERR helpers, and the length-prefixed frame
+// I/O over a socketpair.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace hsbp::serve {
+namespace {
+
+std::optional<Request> parse(const std::string& payload) {
+  std::string error;
+  return parse_request(payload, error);
+}
+
+std::string parse_error(const std::string& payload) {
+  std::string error;
+  const auto parsed = parse_request(payload, error);
+  EXPECT_FALSE(parsed.has_value()) << "payload '" << payload
+                                   << "' unexpectedly parsed";
+  return error;
+}
+
+TEST(ServeProtocolParse, BareVerbs) {
+  EXPECT_EQ(parse("PING")->verb, Verb::Ping);
+  EXPECT_EQ(parse("LIST")->verb, Verb::List);
+  EXPECT_EQ(parse("STATS")->verb, Verb::Stats);
+  EXPECT_EQ(parse("SHUTDOWN")->verb, Verb::Shutdown);
+}
+
+TEST(ServeProtocolParse, GraphVerbs) {
+  const auto info = parse("INFO web");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->verb, Verb::Info);
+  EXPECT_EQ(info->graph, "web");
+
+  EXPECT_EQ(parse("MODULARITY g")->verb, Verb::Modularity);
+  EXPECT_EQ(parse("MDL g")->verb, Verb::Mdl);
+  EXPECT_EQ(parse("EPOCH g")->verb, Verb::Epoch);
+}
+
+TEST(ServeProtocolParse, MemberAndCommunityCarryAnId) {
+  const auto member = parse("MEMBER web 17");
+  ASSERT_TRUE(member.has_value());
+  EXPECT_EQ(member->verb, Verb::Member);
+  EXPECT_EQ(member->graph, "web");
+  EXPECT_EQ(member->argument, 17);
+
+  const auto community = parse("COMMUNITY web 3");
+  ASSERT_TRUE(community.has_value());
+  EXPECT_EQ(community->verb, Verb::Community);
+  EXPECT_EQ(community->argument, 3);
+}
+
+TEST(ServeProtocolParse, IngestCollectsEdgePairs) {
+  const auto ingest = parse("INGEST web 3 0 1 2 3 4 0");
+  ASSERT_TRUE(ingest.has_value());
+  EXPECT_EQ(ingest->verb, Verb::Ingest);
+  EXPECT_EQ(ingest->graph, "web");
+  const std::vector<std::pair<std::int32_t, std::int32_t>> expected = {
+      {0, 1}, {2, 3}, {4, 0}};
+  EXPECT_EQ(ingest->edges, expected);
+}
+
+TEST(ServeProtocolParse, FormatIngestRoundTrips) {
+  const std::vector<std::pair<std::int32_t, std::int32_t>> edges = {
+      {5, 9}, {0, 0}, {123456, 7}};
+  const auto parsed = parse(format_ingest("mygraph", edges));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->graph, "mygraph");
+  EXPECT_EQ(parsed->edges, edges);
+}
+
+TEST(ServeProtocolParse, TokenizerIgnoresExtraWhitespace) {
+  const auto member = parse("  MEMBER \t web   17 \n");
+  ASSERT_TRUE(member.has_value());
+  EXPECT_EQ(member->verb, Verb::Member);
+  EXPECT_EQ(member->argument, 17);
+}
+
+// Every malformed shape yields a reason string for an ERR reply — the
+// daemon must never treat these as connection- or process-fatal.
+TEST(ServeProtocolParse, MalformedRequestsYieldReasons) {
+  EXPECT_NE(parse_error(""), "");
+  EXPECT_NE(parse_error("   "), "");
+  EXPECT_NE(parse_error("FROBNICATE web"), "");
+  EXPECT_NE(parse_error("ping"), "");  // verbs are case-sensitive
+  EXPECT_NE(parse_error("PING extra"), "");
+  EXPECT_NE(parse_error("INFO"), "");
+  EXPECT_NE(parse_error("MEMBER web"), "");
+  EXPECT_NE(parse_error("MEMBER web twelve"), "");
+  EXPECT_NE(parse_error("MEMBER web -4"), "");
+  EXPECT_NE(parse_error("MEMBER web 17 extra"), "");
+  EXPECT_NE(parse_error("INGEST web"), "");
+  EXPECT_NE(parse_error("INGEST web 0"), "");
+  EXPECT_NE(parse_error("INGEST web 2 0 1"), "");      // short
+  EXPECT_NE(parse_error("INGEST web 1 0 1 2 3"), "");  // long
+  EXPECT_NE(parse_error("INGEST web 1 0 x"), "");
+  EXPECT_NE(parse_error("INGEST web 1 -1 2"), "");
+  EXPECT_NE(parse_error("INGEST web 1 99999999999 2"), "");  // > INT32
+}
+
+TEST(ServeProtocolReplies, OkErrAndDetection) {
+  EXPECT_EQ(ok_reply(""), "OK");
+  EXPECT_EQ(ok_reply("pong"), "OK pong");
+  EXPECT_EQ(err_reply("nope"), "ERR nope");
+  EXPECT_TRUE(is_ok("OK"));
+  EXPECT_TRUE(is_ok("OK pong"));
+  EXPECT_FALSE(is_ok("OKAY"));  // token-exact, not prefix-loose
+  EXPECT_FALSE(is_ok("ERR OK"));
+  EXPECT_FALSE(is_ok(""));
+}
+
+class FramePair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePair, RoundTripsPayloads) {
+  for (const std::string payload :
+       {std::string("PING"), std::string(""),
+        std::string(1000, 'x') + " with spaces"}) {
+    ASSERT_TRUE(write_frame(fds_[0], payload));
+    std::string received;
+    ASSERT_TRUE(read_frame(fds_[1], received));
+    EXPECT_EQ(received, payload);
+  }
+}
+
+TEST_F(FramePair, SequentialFramesStayDelimited) {
+  ASSERT_TRUE(write_frame(fds_[0], "first"));
+  ASSERT_TRUE(write_frame(fds_[0], "second frame"));
+  std::string received;
+  ASSERT_TRUE(read_frame(fds_[1], received));
+  EXPECT_EQ(received, "first");
+  ASSERT_TRUE(read_frame(fds_[1], received));
+  EXPECT_EQ(received, "second frame");
+}
+
+TEST_F(FramePair, CleanEofReadsFalse) {
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::string received;
+  EXPECT_FALSE(read_frame(fds_[1], received));
+}
+
+TEST_F(FramePair, TornFrameReadsFalse) {
+  // A length prefix promising more bytes than ever arrive.
+  const char prefix[4] = {16, 0, 0, 0};
+  ASSERT_EQ(::write(fds_[0], prefix, 4), 4);
+  ASSERT_EQ(::write(fds_[0], "short", 5), 5);
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::string received;
+  EXPECT_FALSE(read_frame(fds_[1], received));
+}
+
+TEST_F(FramePair, OversizedLengthPrefixRejected) {
+  // 0xFFFFFFFF bytes claimed: must be rejected before any allocation
+  // of that size (the reader would otherwise trust a garbage prefix).
+  const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(fds_[0], prefix, 4), 4);
+  std::string received;
+  EXPECT_FALSE(read_frame(fds_[1], received));
+}
+
+TEST_F(FramePair, WriterRefusesOversizedPayload) {
+  std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(write_frame(fds_[0], big));
+}
+
+}  // namespace
+}  // namespace hsbp::serve

@@ -1,0 +1,281 @@
+// Graceful shutdown and crash-safety of the serving daemon, reusing
+// the PR 3 fault-injection harness:
+//   - a SIGTERM (request_shutdown) racing an in-flight refit still
+//     leaves a valid, loadable checkpoint at the published epoch,
+//   - a daemon killed and resumed serves the exact snapshot it last
+//     published (bit-exact assignment, MDL, epoch),
+//   - a torn serve checkpoint is rejected by the loader, and a failed
+//     persist never destroys the previous checkpoint or the daemon.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/fault_injector.hpp"
+#include "ckpt/shutdown.hpp"
+#include "generator/dcsbm.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/refit.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "util/errors.hpp"
+
+namespace hsbp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+graph::Graph tiny_graph(std::uint64_t seed = 13) {
+  generator::DcsbmParams params;
+  params.num_vertices = 50;
+  params.num_communities = 4;
+  params.num_edges = 350;
+  params.ratio_within_between = 5.0;
+  params.seed = seed;
+  return generator::generate_dcsbm(params).graph;
+}
+
+std::string unique_dir(const char* tag) {
+  const std::string dir = (fs::path(::testing::TempDir()) /
+                           ("serve_" + std::string(tag) + "_" +
+                            std::to_string(::getpid())))
+                              .string();
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/hsbp_s_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+sbp::SbpConfig fast_config() {
+  sbp::SbpConfig config;
+  config.seed = 5;
+  config.num_threads = 2;
+  return config;
+}
+
+/// Guard: every test leaves the process-wide shutdown flag clear.
+struct ShutdownFlagGuard {
+  ~ShutdownFlagGuard() { ckpt::clear_shutdown(); }
+};
+
+TEST(ServeShutdown, SigtermMidRefitStillPublishesAValidCheckpoint) {
+  ShutdownFlagGuard guard;
+  const std::string dir = unique_dir("sigterm");
+  const std::string socket = unique_socket_path("sigterm");
+  ServeOptions options;
+  options.socket_path = socket;
+  options.refit.base = fast_config();
+  options.refit.checkpoint_dir = dir;
+  Server server(options);
+  server.add_graph("g", tiny_graph());
+  server.start();
+
+  // Queue a batch, then raise the shutdown flag immediately — the
+  // scheduler's drain-before-exit still fits it (run_warm early-exits
+  // at its next phase boundary with best-so-far), publishes, persists.
+  Client client = Client::connect_unix(socket);
+  const auto ack = client.request("INGEST g 4 0 50 50 1 2 3 4 5");
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_TRUE(is_ok(*ack)) << *ack;
+  ckpt::request_shutdown();
+  server.stop();
+
+  // The checkpoint on disk must load cleanly and describe exactly the
+  // snapshot the store last published — including the ingested growth.
+  const GraphStore* store = server.registry().find("g");
+  ASSERT_NE(store, nullptr);
+  const auto published = store->acquire();
+  EXPECT_EQ(published->epoch, 2u);
+  EXPECT_EQ(published->graph->num_vertices(), 51);
+
+  const auto loaded =
+      ckpt::load_serve_checkpoint(checkpoint_path(dir, "g"));
+  EXPECT_EQ(loaded.epoch, published->epoch);
+  EXPECT_EQ(loaded.num_vertices, published->graph->num_vertices());
+  EXPECT_EQ(loaded.assignment, published->assignment);
+  EXPECT_EQ(loaded.num_blocks, published->num_blocks);
+  EXPECT_DOUBLE_EQ(loaded.mdl, published->mdl);
+}
+
+TEST(ServeShutdown, KilledAndResumedDaemonServesTheSameSnapshot) {
+  ShutdownFlagGuard guard;
+  const std::string dir = unique_dir("kill");
+  const std::string crash_dir = unique_dir("kill_crashcopy");
+  const std::string socket = unique_socket_path("kill");
+  ServeOptions options;
+  options.socket_path = socket;
+  options.refit.base = fast_config();
+  options.refit.checkpoint_dir = dir;
+
+  std::vector<std::int32_t> observed_assignment;
+  std::uint64_t observed_epoch = 0;
+  double observed_mdl = 0.0;
+  blockmodel::BlockId observed_blocks = 0;
+  {
+    Server server(options);
+    server.add_graph("g", tiny_graph());
+    server.start();
+    Client client = Client::connect_unix(socket);
+    const auto ack = client.request("INGEST g 2 0 1 2 50");
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_TRUE(is_ok(*ack)) << *ack;
+
+    // Wait until the refit epoch is client-observable, then freeze the
+    // on-disk state at that instant — persist-before-publish means the
+    // checkpoint file already covers what we just observed. Copying it
+    // simulates the state a `kill -9` at this exact moment leaves.
+    const auto deadline = std::chrono::steady_clock::now() + 60s;
+    bool observed = false;
+    while (std::chrono::steady_clock::now() < deadline && !observed) {
+      const auto reply = client.request("EPOCH g");
+      ASSERT_TRUE(reply.has_value());
+      if (is_ok(*reply) && std::stoull(reply->substr(3)) >= 2) {
+        observed = true;
+      } else {
+        std::this_thread::sleep_for(10ms);
+      }
+    }
+    ASSERT_TRUE(observed) << "refit never published";
+    fs::copy_file(checkpoint_path(dir, "g"),
+                  checkpoint_path(crash_dir, "g"),
+                  fs::copy_options::overwrite_existing);
+
+    const auto snapshot = server.registry().find("g")->acquire();
+    observed_assignment = snapshot->assignment;
+    observed_epoch = snapshot->epoch;
+    observed_mdl = snapshot->mdl;
+    observed_blocks = snapshot->num_blocks;
+    server.stop();
+  }
+
+  // "Resume after the kill": a fresh daemon pointed at the frozen dir.
+  ServeOptions resumed_options;
+  resumed_options.socket_path = unique_socket_path("kill2");
+  resumed_options.refit.base = fast_config();
+  resumed_options.refit.checkpoint_dir = crash_dir;
+  resumed_options.resume = true;
+  Server resumed(resumed_options);
+  resumed.add_graph("g", tiny_graph());
+  resumed.start();
+
+  const auto snapshot = resumed.registry().find("g")->acquire();
+  EXPECT_EQ(snapshot->epoch, observed_epoch);
+  EXPECT_EQ(snapshot->assignment, observed_assignment);
+  EXPECT_EQ(snapshot->num_blocks, observed_blocks);
+  EXPECT_DOUBLE_EQ(snapshot->mdl, observed_mdl);
+  EXPECT_EQ(snapshot->graph->num_vertices(), 51);  // ingested vertex kept
+
+  // And it answers from that snapshot over the wire.
+  Client client = Client::connect_unix(resumed_options.socket_path);
+  const auto member = client.request("MEMBER g 50");
+  ASSERT_TRUE(member.has_value());
+  EXPECT_TRUE(is_ok(*member));
+  EXPECT_EQ(std::stoi(member->substr(3)),
+            observed_assignment[50]);
+  resumed.stop();
+}
+
+TEST(ServeShutdown, ShutdownUnderQueryLoadDrainsCleanly) {
+  ShutdownFlagGuard guard;
+  const std::string dir = unique_dir("load");
+  const std::string socket = unique_socket_path("load");
+  ServeOptions options;
+  options.socket_path = socket;
+  options.refit.base = fast_config();
+  options.refit.checkpoint_dir = dir;
+  Server server(options);
+  server.add_graph("g", tiny_graph());
+  server.start();
+
+  std::atomic<bool> running{true};
+  std::atomic<std::uint64_t> hard_failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      Client client = Client::connect_unix(socket);
+      std::uint64_t i = 0;
+      while (running.load(std::memory_order_relaxed)) {
+        const auto reply =
+            client.request("MEMBER g " + std::to_string(i % 50));
+        // A drain hangs up after the in-flight reply: nullopt is the
+        // expected end of session, an ERR reply would be a real bug.
+        if (!reply.has_value()) break;
+        if (!is_ok(*reply)) hard_failures.fetch_add(1);
+        ++i;
+      }
+    });
+  }
+  Client control = Client::connect_unix(socket);
+  const auto ack = control.request("INGEST g 2 0 1 2 3");
+  ASSERT_TRUE(ack.has_value());
+  std::this_thread::sleep_for(30ms);  // let the storm overlap the refit
+
+  ckpt::request_shutdown();
+  server.stop();
+  running.store(false);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(hard_failures.load(), 0u);
+
+  // Acknowledged INGEST survived the drain and is on disk.
+  const auto loaded =
+      ckpt::load_serve_checkpoint(checkpoint_path(dir, "g"));
+  EXPECT_EQ(loaded.epoch, 2u);
+}
+
+TEST(ServeShutdown, TornServeCheckpointIsRejectedByTheLoader) {
+  const std::string dir = unique_dir("torn");
+  const auto graph =
+      std::make_shared<const graph::Graph>(tiny_graph());
+  std::vector<std::int32_t> assignment(
+      static_cast<std::size_t>(graph->num_vertices()));
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    assignment[v] = static_cast<std::int32_t>(v % 3);
+  }
+  const auto snapshot = make_snapshot(graph, assignment, 3, 42.0, 7);
+
+  ckpt::FaultInjector fault;
+  fault.truncate_write(1, 24);  // torn: renamed into place, data cut
+  persist_snapshot(dir, "g", *snapshot, &fault);
+  EXPECT_THROW(ckpt::load_serve_checkpoint(checkpoint_path(dir, "g")),
+               util::DataError);
+}
+
+TEST(ServeShutdown, FailedPersistKeepsThePreviousCheckpointAndEpoch) {
+  const std::string dir = unique_dir("failwrite");
+  const auto graph =
+      std::make_shared<const graph::Graph>(tiny_graph());
+  std::vector<std::int32_t> assignment(
+      static_cast<std::size_t>(graph->num_vertices()));
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    assignment[v] = static_cast<std::int32_t>(v % 3);
+  }
+  persist_snapshot(dir, "g", *make_snapshot(graph, assignment, 3, 42.0, 7),
+                   nullptr);
+
+  ckpt::FaultInjector fault;
+  fault.fail_write(1);  // disk full on the successor's persist
+  EXPECT_THROW(persist_snapshot(
+                   dir, "g", *make_snapshot(graph, assignment, 3, 41.0, 8),
+                   &fault),
+               util::IoError);
+
+  const auto loaded =
+      ckpt::load_serve_checkpoint(checkpoint_path(dir, "g"));
+  EXPECT_EQ(loaded.epoch, 7u);  // the previous epoch survived intact
+  EXPECT_DOUBLE_EQ(loaded.mdl, 42.0);
+}
+
+}  // namespace
+}  // namespace hsbp::serve

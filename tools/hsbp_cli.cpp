@@ -18,6 +18,10 @@
 ///   hsbp dist      [generator flags] [--ranks R]
 ///                  [--partition range|roundrobin|balanced]
 ///   hsbp score     <truth.tsv> <predicted.tsv>
+///   hsbp serve     <graph-file> [more graphs] (--socket PATH | --port N)
+///                  [--algorithm ...] [--weighted] [--seed S] [--threads T]
+///                  [--checkpoint DIR] [--resume] [--refine K]
+///   hsbp query     (--socket PATH | --port N) <verb> [args...]
 ///   hsbp version
 ///
 /// Checkpointing (`detect`, `sample`): `--checkpoint FILE` snapshots
@@ -29,13 +33,19 @@
 /// one bit-for-bit when `--threads` also matches.
 ///
 /// Exit codes (sysexits.h conventions, all diagnostics on stderr):
-///    0  success
+///    0  success (for `serve`: includes SIGINT/SIGTERM graceful drain)
 ///   64  usage error (bad flags, unknown command, bad flag value)
-///   65  malformed input data (graph/assignment/checkpoint rejected)
+///   65  malformed input data (graph/assignment/checkpoint rejected,
+///       or a `query` answered with an ERR reply)
+///   69  service unavailable (`serve` cannot bind its socket/port)
 ///   70  internal error (unexpected exception)
-///   74  I/O failure (cannot open/write a file)
+///   74  I/O failure (cannot open/write a file, daemon hung up mid-query)
 ///   75  run interrupted by SIGINT/SIGTERM but state checkpointed —
 ///       rerun with --resume to continue
+///
+/// Malformed *client requests* to a running daemon are protocol-level
+/// errors: the daemon replies `ERR ...` on the same connection and
+/// keeps serving — they never terminate the `serve` process.
 ///
 /// Each subcommand is a thin shell over the same public API the
 /// examples demonstrate; `hsbp <cmd> --help` lists the flags.
@@ -60,6 +70,9 @@
 #include "metrics/pairwise.hpp"
 #include "sample/sample_sbp.hpp"
 #include "sbp/streaming.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "util/args.hpp"
 #include "util/errors.hpp"
 #include "util/table.hpp"
@@ -73,6 +86,7 @@ constexpr const char* kVersion = "1.0.0";
 // Exit codes, following sysexits.h (see the file docblock).
 constexpr int kExitUsage = 64;
 constexpr int kExitData = 65;
+constexpr int kExitUnavailable = 69;
 constexpr int kExitInternal = 70;
 constexpr int kExitIo = 74;
 constexpr int kExitInterrupted = 75;
@@ -81,7 +95,7 @@ constexpr int kExitInterrupted = 75;
   std::fprintf(
       stderr,
       "usage: hsbp <generate|detect|compare|sample|stream|dist|score|"
-      "version> "
+      "serve|query|version> "
       "[flags]\n"
       "run `hsbp <command> --help` for the command's flags\n");
   std::exit(code);
@@ -502,6 +516,110 @@ int cmd_dist(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  if (args.has("help") || args.positionals().empty()) {
+    std::printf(
+        "hsbp serve <graph-file> [more graphs] (--socket PATH | --port N)\n"
+        "           [--algorithm sbp|asbp|hsbp|bsbp] [--weighted] "
+        "[--seed S] [--threads T]\n"
+        "           [--checkpoint DIR] [--resume] [--refine K]\n"
+        "Serves partitions over a Unix socket or loopback TCP port "
+        "(--port 0 picks an\n"
+        "ephemeral port, printed on startup). Each graph is served under "
+        "its file stem.\n"
+        "SIGINT/SIGTERM drain gracefully: in-flight queries finish, the "
+        "running refit\n"
+        "publishes, final checkpoints are written, exit 0.\n");
+    return args.has("help") ? 0 : kExitUsage;
+  }
+  hsbp::serve::ServeOptions options;
+  options.socket_path = args.get_string("socket", "");
+  options.tcp_port = static_cast<int>(args.get_int("port", -1));
+  if (options.socket_path.empty() == (options.tcp_port < 0)) {
+    throw std::invalid_argument(
+        "serve needs exactly one of --socket PATH or --port N");
+  }
+  options.refit.base = base_config(args);
+  options.refit.base.variant =
+      parse_variant(args.get_string("algorithm", "hsbp"));
+  options.refit.refine_factor =
+      static_cast<int>(args.get_int("refine", 3));
+  options.refit.checkpoint_dir = args.get_string("checkpoint", "");
+  options.resume = args.get_bool("resume", false);
+  if (options.resume && options.refit.checkpoint_dir.empty()) {
+    throw std::invalid_argument("--resume requires --checkpoint DIR");
+  }
+  if (!options.refit.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(options.refit.checkpoint_dir);
+  }
+
+  hsbp::serve::Server server(options);
+  const bool weighted = args.get_bool("weighted", false);
+  for (const std::string& path : args.positionals()) {
+    const std::string name = std::filesystem::path(path).stem().string();
+    server.add_graph(name, load_graph(path, weighted));
+  }
+
+  // The daemon's graceful drain rides the same SIGINT/SIGTERM flag the
+  // engine polls at phase boundaries: one signal stops the accept loop
+  // AND early-exits a mid-flight refit at its next phase boundary.
+  hsbp::ckpt::install_shutdown_handlers();
+  server.start();
+  if (!options.socket_path.empty()) {
+    std::printf("hsbpd: serving on unix:%s\n", options.socket_path.c_str());
+  } else {
+    std::printf("hsbpd: serving on tcp:127.0.0.1:%d\n", server.port());
+  }
+  std::fflush(stdout);
+
+  server.run();
+
+  const auto stats = server.stats();
+  std::printf("hsbpd: drained — %llu sessions, %llu queries (%llu errors), "
+              "%llu ingests, %llu refits\n",
+              static_cast<unsigned long long>(stats.sessions),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.errors),
+              static_cast<unsigned long long>(stats.ingests),
+              static_cast<unsigned long long>(stats.refits));
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  if (args.has("help") || args.positionals().empty()) {
+    std::printf(
+        "hsbp query (--socket PATH | --port N) <verb> [args...]\n"
+        "One request against a running daemon; the reply goes to stdout.\n"
+        "Exit 0 on an OK reply, %d on an ERR reply.\n"
+        "examples:\n"
+        "  hsbp query --socket /tmp/hsbpd.sock LIST\n"
+        "  hsbp query --socket /tmp/hsbpd.sock MEMBER mygraph 17\n"
+        "  hsbp query --port 7471 INGEST mygraph 2 0 5 5 9\n",
+        kExitData);
+    return args.has("help") ? 0 : kExitUsage;
+  }
+  const std::string socket_path = args.get_string("socket", "");
+  const int port = static_cast<int>(args.get_int("port", -1));
+  if (socket_path.empty() == (port < 0)) {
+    throw std::invalid_argument(
+        "query needs exactly one of --socket PATH or --port N");
+  }
+  std::string payload;
+  for (const std::string& word : args.positionals()) {
+    if (!payload.empty()) payload += ' ';
+    payload += word;
+  }
+  auto client = socket_path.empty()
+                    ? hsbp::serve::Client::connect_tcp(port)
+                    : hsbp::serve::Client::connect_unix(socket_path);
+  const auto reply = client.request(payload);
+  if (!reply.has_value()) {
+    throw hsbp::util::IoError("daemon hung up before replying");
+  }
+  std::printf("%s\n", reply->c_str());
+  return hsbp::serve::is_ok(*reply) ? 0 : kExitData;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -516,6 +634,8 @@ int main(int argc, char** argv) {
     if (command == "stream") return cmd_stream(args);
     if (command == "dist") return cmd_dist(args);
     if (command == "score") return cmd_score(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
     if (command == "version") {
       std::printf("hsbp %s\n", kVersion);
       return 0;
@@ -529,6 +649,9 @@ int main(int argc, char** argv) {
   } catch (const hsbp::util::DataError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitData;
+  } catch (const hsbp::serve::BindError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUnavailable;
   } catch (const hsbp::util::IoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitIo;
