@@ -72,9 +72,7 @@ void BM_GatherNeighborBlocks(benchmark::State& state) {
 #ifdef HSBP_BENCH_HAVE_SCRATCH
   hsbp::blockmodel::MoveScratch scratch;
   const auto assignment = f.blockmodel.assignment();
-  const auto view = [assignment](Vertex u) {
-    return assignment[static_cast<std::size_t>(u)];
-  };
+  const hsbp::blockmodel::FlatMembershipView view{assignment.data()};
   for (auto _ : state) {
     const auto v = static_cast<Vertex>(rng.uniform_int(2000));
     hsbp::blockmodel::gather_neighbor_blocks_into(f.generated.graph, view, v,
@@ -97,9 +95,7 @@ void BM_VertexMoveDelta(benchmark::State& state) {
 #ifdef HSBP_BENCH_HAVE_SCRATCH
   hsbp::blockmodel::MoveScratch scratch;
   const auto assignment = f.blockmodel.assignment();
-  const auto view = [assignment](Vertex u) {
-    return assignment[static_cast<std::size_t>(u)];
-  };
+  const hsbp::blockmodel::FlatMembershipView view{assignment.data()};
   for (auto _ : state) {
     const auto v = static_cast<Vertex>(rng.uniform_int(2000));
     const BlockId from = f.blockmodel.block_of(v);
@@ -145,9 +141,7 @@ void BM_HastingsCorrection(benchmark::State& state) {
 #ifdef HSBP_BENCH_HAVE_SCRATCH
   hsbp::blockmodel::MoveScratch scratch;
   const auto assignment = f.blockmodel.assignment();
-  const auto view = [assignment](Vertex u) {
-    return assignment[static_cast<std::size_t>(u)];
-  };
+  const hsbp::blockmodel::FlatMembershipView view{assignment.data()};
   for (auto _ : state) {
     const auto v = static_cast<Vertex>(rng.uniform_int(2000));
     const BlockId from = f.blockmodel.block_of(v);

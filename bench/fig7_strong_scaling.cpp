@@ -4,13 +4,24 @@
 /// tapering past 16 threads). The sweep is clamped to what the host can
 /// express; counts beyond the physical cores are still run (and
 /// labeled) so oversubscription effects are visible.
+///
+/// Tracked-benchmark mode: `--json PATH` writes one machine-readable
+/// entry per thread count, which scripts/bench_kernels.sh folds into
+/// BENCH_kernels.json; `--schedule static|dynamic|guided|degree-sorted`
+/// selects the async-pass loop schedule (DESIGN §13) so the static
+/// baseline and the degree-aware schedules can be compared on the same
+/// skewed-degree graph.
 #include <omp.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <iostream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "sbp/schedule.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -19,13 +30,25 @@ int main(int argc, char** argv) {
   const int hardware = omp_get_max_threads();
   const int max_threads =
       static_cast<int>(args.get_int("max-threads", std::max(hardware, 4)));
+  const std::string json_path = args.get_string("json", "");
+  const std::string schedule_arg = args.get_string("schedule", "static");
+  const auto schedule = hsbp::sbp::parse_schedule(schedule_arg);
+  if (!schedule) {
+    std::fprintf(stderr,
+                 "unknown --schedule '%s' (expected static|dynamic|guided|"
+                 "degree-sorted)\n",
+                 schedule_arg.c_str());
+    return 2;
+  }
 
   hsbp::eval::print_banner(
       "Fig. 7: strong scaling of H-SBP MCMC runtime on soc-Slashdot0902",
       options.scale, options.runs, std::cout);
-  std::cout << "hardware threads: " << hardware << "\n";
+  std::cout << "hardware threads: " << hardware
+            << "  schedule: " << hsbp::sbp::schedule_name(*schedule) << "\n";
 
-  // Locate the soc-Slashdot0902 surrogate.
+  // Locate the soc-Slashdot0902 surrogate (a skewed-degree graph: the
+  // degree-aware schedules exist precisely for its hub-heavy tail).
   const auto entries = hsbp::generator::realworld_surrogate_suite(
       options.scale, options.seed);
   const hsbp::generator::SuiteEntry* slashdot = nullptr;
@@ -38,6 +61,16 @@ int main(int argc, char** argv) {
   std::vector<int> thread_counts;
   for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
 
+  struct Entry {
+    int threads;
+    double mcmc_s;
+    double total_s;
+    std::int64_t iters;
+    double speedup;
+    bool oversubscribed;
+  };
+  std::vector<Entry> results;
+
   hsbp::util::Table table({"threads", "mcmc_s", "total_s", "mcmc_iters",
                            "speedup_vs_1t", "oversubscribed"});
   double baseline = 0.0;
@@ -45,18 +78,22 @@ int main(int argc, char** argv) {
     hsbp::sbp::SbpConfig config = hsbp::bench::base_config(options);
     config.variant = hsbp::sbp::Variant::Hybrid;
     config.num_threads = threads;
+    config.schedule = *schedule;
     const auto outcome =
         hsbp::eval::best_of(generated.graph, config, options.runs);
     if (baseline == 0.0) baseline = outcome.total_mcmc_seconds;
+    const double speedup = outcome.total_mcmc_seconds > 0
+                               ? baseline / outcome.total_mcmc_seconds
+                               : 0.0;
+    results.push_back({threads, outcome.total_mcmc_seconds,
+                       outcome.total_seconds, outcome.total_mcmc_iterations,
+                       speedup, threads > hardware});
     table.row()
         .cell(static_cast<std::int64_t>(threads))
         .cell(outcome.total_mcmc_seconds, 3)
         .cell(outcome.total_seconds, 3)
         .cell(outcome.total_mcmc_iterations)
-        .cell(outcome.total_mcmc_seconds > 0
-                  ? baseline / outcome.total_mcmc_seconds
-                  : 0.0,
-              2)
+        .cell(speedup, 2)
         .cell(threads > hardware ? std::string("yes") : std::string("no"));
     std::fprintf(stderr, "  threads=%d done (%.2fs)\n", threads,
                  outcome.total_mcmc_seconds);
@@ -65,5 +102,33 @@ int main(int argc, char** argv) {
   std::cout << "paper shape: runtime decreases with threads, tapering "
                "around 16; on this host only the non-oversubscribed rows "
                "are meaningful.\n";
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"dataset\": \"soc-Slashdot0902\",\n"
+                 "  \"scale\": %g,\n  \"runs\": %d,\n"
+                 "  \"schedule\": \"%s\",\n  \"entries\": [\n",
+                 options.scale, options.runs,
+                 hsbp::sbp::schedule_name(*schedule));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Entry& e = results[i];
+      std::fprintf(f,
+                   "    {\"threads\": %d, \"mcmc_s\": %.6f, "
+                   "\"total_s\": %.6f, \"mcmc_iters\": %lld, "
+                   "\"speedup_vs_1t\": %.4f, \"oversubscribed\": %s}%s\n",
+                   e.threads, e.mcmc_s, e.total_s,
+                   static_cast<long long>(e.iters), e.speedup,
+                   e.oversubscribed ? "true" : "false",
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "json written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Kernel perf-regression harness: runs the bm_kernels google-benchmark
-# suite and writes BENCH_kernels.json (ns/op per kernel, plus speedups
-# against a baseline run when one is supplied).
+# suite with repetitions, aggregates min-of-N per kernel (minimum is the
+# right statistic on a noisy shared host: it approaches the true cost
+# from above and is immune to load spikes), records each kernel's noise
+# floor, folds in the fig7 strong-scaling per-thread entries, and writes
+# BENCH_kernels.json.
 #
 # Usage: scripts/bench_kernels.sh [BUILD_DIR]
 #
@@ -14,44 +17,96 @@
 #                       otherwise the previous BENCH_kernels.json's
 #                       "after" numbers are reused as the baseline so
 #                       successive runs catch regressions.
-#   HSBP_BENCH_MIN_TIME benchmark --benchmark_min_time value. Plain
-#                       seconds as a bare number (older google-benchmark
-#                       releases reject the "0.2s" suffix form).
+#   HSBP_BENCH_REPS     benchmark repetitions per kernel (default 5);
+#                       after_ns is the minimum across repetitions and
+#                       noise_pct = (max-min)/min*100 is the recorded
+#                       per-kernel noise floor for that run.
+#   HSBP_BENCH_MIN_TIME benchmark --benchmark_min_time value per
+#                       repetition. Plain seconds as a bare number
+#                       (older google-benchmark releases reject the
+#                       "0.2s" suffix form).
 #   HSBP_BENCH_OUT      output path (default: BENCH_kernels.json)
+#   HSBP_BENCH_SKIP_FIG7  set to 1 to skip the fig7 strong-scaling
+#                       sweep (kernel-only refresh; the previous fig7
+#                       block is carried forward unchanged).
+#   HSBP_FIG7_SCALE     fig7 dataset scale (default 0.005)
+#   HSBP_FIG7_RUNS      fig7 best-of runs per thread count (default 2)
+#   HSBP_FIG7_MAX_THREADS  fig7 sweep upper bound (default 8: records
+#                       entries at 1/2/4/8 threads)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 MIN_TIME="${HSBP_BENCH_MIN_TIME:-0.2}"
+REPS="${HSBP_BENCH_REPS:-5}"
 OUT="${HSBP_BENCH_OUT:-BENCH_kernels.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+FIG7_STATIC="$(mktemp)"
+FIG7_DEGREE="$(mktemp)"
+trap 'rm -f "$RAW" "$FIG7_STATIC" "$FIG7_DEGREE"' EXIT
 
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bm_kernels >&2
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bm_kernels \
+  fig7_strong_scaling >&2
 
 "$BUILD_DIR/bench/bm_kernels" \
   --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions="$REPS" \
   --benchmark_format=json > "$RAW"
 
-python3 - "$RAW" "$OUT" <<'EOF'
+# Fig. 7 strong scaling (async-pass thread sweep on the skewed-degree
+# soc-Slashdot0902 surrogate), once per schedule so the degree-aware
+# schedule can be compared against the static baseline at every thread
+# count.
+if [[ "${HSBP_BENCH_SKIP_FIG7:-0}" != "1" ]]; then
+  for sched in static degree-sorted; do
+    case "$sched" in
+      static) fig7_out="$FIG7_STATIC" ;;
+      *) fig7_out="$FIG7_DEGREE" ;;
+    esac
+    "$BUILD_DIR/bench/fig7_strong_scaling" \
+      --scale "${HSBP_FIG7_SCALE:-0.005}" \
+      --runs "${HSBP_FIG7_RUNS:-2}" \
+      --max-threads "${HSBP_FIG7_MAX_THREADS:-8}" \
+      --schedule "$sched" \
+      --json "$fig7_out" >&2
+  done
+else
+  : > "$FIG7_STATIC"
+  : > "$FIG7_DEGREE"
+fi
+
+python3 - "$RAW" "$OUT" "$FIG7_STATIC" "$FIG7_DEGREE" <<'EOF'
 import json
 import subprocess
 import sys
 import os
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
-after = {b["name"]: b["real_time"]
-         for b in json.load(open(raw_path))["benchmarks"]
-         if b.get("run_type", "iteration") == "iteration"}
+raw_path, out_path, fig7_static, fig7_degree = sys.argv[1:5]
+
+# Min-of-N across repetitions per kernel, plus the spread as the noise
+# floor: a "speedup" smaller than the noise floor is not a result.
+runs = {}
+for b in json.load(open(raw_path))["benchmarks"]:
+    if b.get("run_type", "iteration") != "iteration":
+        continue  # skip _mean/_median/_stddev aggregate rows
+    runs.setdefault(b["name"], []).append(b["real_time"])
+after = {}
+noise = {}
+for name, times in runs.items():
+    after[name] = min(times)
+    noise[name] = (max(times) - min(times)) / min(times) * 100.0
 
 before = {}
 carried = {}  # hand-maintained keys (e.g. "end_to_end") survive rewrites
 before_src = os.environ.get("HSBP_BENCH_BEFORE", "")
+generated = ("commit", "min_time_s", "repetitions", "baseline", "kernels",
+             "fig7")
+fig7_prev = None
 if os.path.exists(out_path):
     previous = json.load(open(out_path))
-    carried = {k: v for k, v in previous.items()
-               if k not in ("commit", "min_time_s", "baseline", "kernels")}
+    carried = {k: v for k, v in previous.items() if k not in generated}
+    fig7_prev = previous.get("fig7")
     if not before_src:
         before = {k: v["after_ns"] for k, v in previous["kernels"].items()}
 if before_src:
@@ -64,18 +119,35 @@ commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
 
 kernels = {}
 for name, ns in after.items():
-    entry = {"after_ns": round(ns, 1)}
+    entry = {"after_ns": round(ns, 1), "noise_pct": round(noise[name], 1)}
     if name in before:
         entry["before_ns"] = round(before[name], 1)
         entry["speedup"] = round(before[name] / ns, 2)
     kernels[name] = entry
 
+fig7 = fig7_prev  # carry the previous sweep on HSBP_BENCH_SKIP_FIG7=1
+if os.path.getsize(fig7_static) and os.path.getsize(fig7_degree):
+    static = json.load(open(fig7_static))
+    degree = json.load(open(fig7_degree))
+    fig7 = {
+        "dataset": static["dataset"],
+        "scale": static["scale"],
+        "runs": static["runs"],
+        "schedules": {
+            static["schedule"]: static["entries"],
+            degree["schedule"]: degree["entries"],
+        },
+    }
+
 doc = {
     "commit": commit,
     "min_time_s": float(os.environ.get("HSBP_BENCH_MIN_TIME", "0.2")),
+    "repetitions": int(os.environ.get("HSBP_BENCH_REPS", "5")),
     "baseline": before_src or (out_path if before else None),
     "kernels": kernels,
 }
+if fig7 is not None:
+    doc["fig7"] = fig7
 doc.update(carried)
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=False)
@@ -83,9 +155,15 @@ with open(out_path, "w") as f:
 
 width = max(len(n) for n in kernels)
 for name, entry in kernels.items():
-    line = f"{name:<{width}}  after={entry['after_ns']:>12.1f} ns"
+    line = (f"{name:<{width}}  after={entry['after_ns']:>12.1f} ns"
+            f"  noise={entry['noise_pct']:>5.1f}%")
     if "speedup" in entry:
         line += f"  before={entry['before_ns']:>12.1f} ns  ({entry['speedup']}x)"
     print(line)
+if fig7 is not None and os.path.getsize(fig7_static):
+    for sched, entries in fig7["schedules"].items():
+        row = "  ".join(f"{e['threads']}t={e['mcmc_s']:.3f}s"
+                        for e in entries)
+        print(f"fig7[{sched:>13}]  {row}")
 print(f"wrote {out_path}")
 EOF

@@ -26,9 +26,16 @@
 #   HSBP_JOBS         build/test parallelism (default: nproc; a bare
 #                     `-j` spawns every job at once and thrashes small
 #                     machines)
+#   HSBP_SKIP_SIMD    set to 1 to skip the forced-dispatch stage that
+#                     reruns the kernel bit-identity tests under
+#                     HSBP_SIMD=scalar and under the best vector path
+#                     the host supports (the env override is the same
+#                     knob users have, so this also audits the
+#                     dispatch plumbing itself)
 #   HSBP_BENCH_SMOKE  set to 1 to also run the bm_kernels suite briefly
-#                     (--benchmark_min_time=0.05) after the tests — a
-#                     smoke check that every kernel bench still builds
+#                     (--benchmark_min_time=0.05) after the tests, plus
+#                     a fig7 strong-scaling smoke at 1 and 2 threads —
+#                     a smoke check that the bench harness still builds
 #                     and runs, not a measurement (use
 #                     scripts/bench_kernels.sh for real numbers)
 set -euo pipefail
@@ -71,6 +78,23 @@ if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_TSAN:-0}" != "1" ]]; then
      ctest --output-on-failure -j "$JOBS" -L 'async|serve')
 fi
 
+# Stage 3a: forced-dispatch bit-identity — rerun the kernel equivalence
+# and SIMD suites with HSBP_SIMD pinned to scalar, then to the best
+# vector level the host supports (DESIGN §13). The suites also force
+# levels internally via set_level(); running them under both env
+# overrides additionally proves the HSBP_SIMD startup plumbing resolves
+# and clamps correctly on this host.
+if [[ "${HSBP_SKIP_SIMD:-0}" != "1" ]]; then
+  # "avx2" is a request for the highest level; on hosts without AVX2 the
+  # dispatcher clamps it down to the best supported vector path (with a
+  # warning), which is exactly the level we want audited.
+  for simd_level in scalar avx2; do
+    echo "== kernel bit-identity under HSBP_SIMD=$simd_level =="
+    HSBP_SIMD="$simd_level" "$BUILD_DIR/tests/test_blockmodel" \
+      --gtest_filter='XlogxTable.*:*KernelEquivalence*:Simd*:*SimdKernel*'
+  done
+fi
+
 # Stage 3b: serve smoke — start the real daemon on an ephemeral Unix
 # socket, run the concurrent-load bench against it in smoke mode (>= 4
 # client threads querying while edge batches refit), and require a
@@ -102,6 +126,16 @@ fi
 # Note the bare-number min_time: older google-benchmark releases reject
 # the "0.05s" suffix spelling.
 if [[ "${HSBP_BENCH_SMOKE:-0}" == "1" ]]; then
-  cmake --build "$BUILD_DIR" -j "$JOBS" --target bm_kernels
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bm_kernels \
+    fig7_strong_scaling
   "$BUILD_DIR/bench/bm_kernels" --benchmark_min_time=0.05
+  # fig7 smoke at 1 and 2 threads, one degree-aware schedule: the
+  # tracked-benchmark path (--json + --schedule) must stay runnable.
+  FIG7_SMOKE_JSON="$(mktemp)"
+  "$BUILD_DIR/bench/fig7_strong_scaling" --scale 0.001 --runs 1 \
+      --max-threads 2 --schedule degree-sorted --json "$FIG7_SMOKE_JSON"
+  python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert [e['threads'] for e in d['entries']] == [1, 2], d" "$FIG7_SMOKE_JSON"
+  rm -f "$FIG7_SMOKE_JSON"
+  echo "fig7 smoke: 1- and 2-thread entries OK"
 fi

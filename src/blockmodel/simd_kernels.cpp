@@ -1,0 +1,268 @@
+#include "blockmodel/simd_kernels.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/simd.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HSBP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define HSBP_SIMD_X86 0
+#endif
+
+namespace hsbp::blockmodel::simd {
+
+using util::simd::Level;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// xlogx_diff_sum
+// ---------------------------------------------------------------------------
+
+double xlogx_diff_sum_scalar(const Count* newv, const Count* oldv,
+                             std::size_t n) noexcept {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes[i & 3] += xlogx_count(newv[i]) - xlogx_count(oldv[i]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+#if HSBP_SIMD_X86
+
+double xlogx_diff_sum_sse2(const Count* newv, const Count* oldv,
+                           std::size_t n) noexcept {
+  // Table lookups stay scalar (no gather before AVX2); the subtraction
+  // and the lane accumulators are vector, preserving the canonical
+  // per-lane add order.
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d n01 = _mm_set_pd(xlogx_count(newv[i + 1]),  // hi, lo
+                                   xlogx_count(newv[i]));
+    const __m128d o01 =
+        _mm_set_pd(xlogx_count(oldv[i + 1]), xlogx_count(oldv[i]));
+    const __m128d n23 =
+        _mm_set_pd(xlogx_count(newv[i + 3]), xlogx_count(newv[i + 2]));
+    const __m128d o23 =
+        _mm_set_pd(xlogx_count(oldv[i + 3]), xlogx_count(oldv[i + 2]));
+    acc01 = _mm_add_pd(acc01, _mm_sub_pd(n01, o01));
+    acc23 = _mm_add_pd(acc23, _mm_sub_pd(n23, o23));
+  }
+  alignas(16) double lanes[4];
+  _mm_store_pd(lanes, acc01);
+  _mm_store_pd(lanes + 2, acc23);
+  for (; i < n; ++i) {
+    lanes[i & 3] += xlogx_count(newv[i]) - xlogx_count(oldv[i]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+__attribute__((target("avx2"))) double xlogx_diff_sum_avx2(
+    const Count* newv, const Count* oldv, std::size_t n) noexcept {
+  const double* const table = detail::xlogx_table;
+  const __m256i limit =
+      _mm256_set1_epi64x(static_cast<long long>(kXlogxTableSize));
+  const __m256i neg_one = _mm256_set1_epi64x(-1);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vn =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(newv + i));
+    const __m256i vo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(oldv + i));
+    // In range means [0, kXlogxTableSize): the async phase can stage
+    // transiently negative post-move counts (fresh membership reads
+    // against a pass-frozen matrix), and those must take the fallback
+    // lane — xlogx_count maps them through the live-log path, never
+    // the table — or the gather reads table[negative] out of bounds.
+    const __m256i in_range = _mm256_and_si256(
+        _mm256_and_si256(_mm256_cmpgt_epi64(limit, vn),
+                         _mm256_cmpgt_epi64(vn, neg_one)),
+        _mm256_and_si256(_mm256_cmpgt_epi64(limit, vo),
+                         _mm256_cmpgt_epi64(vo, neg_one)));
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(in_range)) == 0xF) {
+      const __m256d xn = _mm256_i64gather_pd(table, vn, 8);
+      const __m256d xo = _mm256_i64gather_pd(table, vo, 8);
+      acc = _mm256_add_pd(acc, _mm256_sub_pd(xn, xo));
+    } else {
+      // Rare: some count >= kXlogxTableSize (or negative, see above).
+      // Compute the group with the scalar path, still one term per lane.
+      alignas(32) double t[4];
+      for (std::size_t j = 0; j < 4; ++j) {
+        t[j] = xlogx_count(newv[i + j]) - xlogx_count(oldv[i + j]);
+      }
+      acc = _mm256_add_pd(acc, _mm256_load_pd(t));
+    }
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (; i < n; ++i) {
+    lanes[i & 3] += xlogx_count(newv[i]) - xlogx_count(oldv[i]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+#endif  // HSBP_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// merge_fold_sum
+// ---------------------------------------------------------------------------
+
+double merge_fold_sum_scalar(const Count* a, const Count* b, const Count* c,
+                             std::size_t n) noexcept {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes[i & 3] +=
+        (xlogx_count(a[i]) - xlogx_count(b[i])) - xlogx_count(c[i]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+#if HSBP_SIMD_X86
+
+double merge_fold_sum_sse2(const Count* a, const Count* b, const Count* c,
+                           std::size_t n) noexcept {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d a01 = _mm_set_pd(xlogx_count(a[i + 1]), xlogx_count(a[i]));
+    const __m128d b01 = _mm_set_pd(xlogx_count(b[i + 1]), xlogx_count(b[i]));
+    const __m128d c01 = _mm_set_pd(xlogx_count(c[i + 1]), xlogx_count(c[i]));
+    const __m128d a23 =
+        _mm_set_pd(xlogx_count(a[i + 3]), xlogx_count(a[i + 2]));
+    const __m128d b23 =
+        _mm_set_pd(xlogx_count(b[i + 3]), xlogx_count(b[i + 2]));
+    const __m128d c23 =
+        _mm_set_pd(xlogx_count(c[i + 3]), xlogx_count(c[i + 2]));
+    acc01 = _mm_add_pd(acc01, _mm_sub_pd(_mm_sub_pd(a01, b01), c01));
+    acc23 = _mm_add_pd(acc23, _mm_sub_pd(_mm_sub_pd(a23, b23), c23));
+  }
+  alignas(16) double lanes[4];
+  _mm_store_pd(lanes, acc01);
+  _mm_store_pd(lanes + 2, acc23);
+  for (; i < n; ++i) {
+    lanes[i & 3] +=
+        (xlogx_count(a[i]) - xlogx_count(b[i])) - xlogx_count(c[i]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+__attribute__((target("avx2"))) double merge_fold_sum_avx2(
+    const Count* a, const Count* b, const Count* c, std::size_t n) noexcept {
+  const double* const table = detail::xlogx_table;
+  const __m256i limit =
+      _mm256_set1_epi64x(static_cast<long long>(kXlogxTableSize));
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    // a == b + c with all counts non-negative on the serial merge path,
+    // so a in [0, kXlogxTableSize) implies b, c in [0, a]: one range
+    // check covers all three gathers. The >= 0 half keeps the gathers
+    // in bounds even if a caller ever violates the invariant.
+    const __m256i in_range = _mm256_and_si256(
+        _mm256_cmpgt_epi64(limit, va),
+        _mm256_cmpgt_epi64(va, _mm256_set1_epi64x(-1)));
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(in_range)) == 0xF) {
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      const __m256i vc =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+      const __m256d xa = _mm256_i64gather_pd(table, va, 8);
+      const __m256d xb = _mm256_i64gather_pd(table, vb, 8);
+      const __m256d xc = _mm256_i64gather_pd(table, vc, 8);
+      acc = _mm256_add_pd(acc, _mm256_sub_pd(_mm256_sub_pd(xa, xb), xc));
+    } else {
+      alignas(32) double t[4];
+      for (std::size_t j = 0; j < 4; ++j) {
+        t[j] = (xlogx_count(a[i + j]) - xlogx_count(b[i + j])) -
+               xlogx_count(c[i + j]);
+      }
+      acc = _mm256_add_pd(acc, _mm256_load_pd(t));
+    }
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (; i < n; ++i) {
+    lanes[i & 3] +=
+        (xlogx_count(a[i]) - xlogx_count(b[i])) - xlogx_count(c[i]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+#endif  // HSBP_SIMD_X86
+
+// Bitwise scalar-vs-vector cross-check (HSBP_SIMD_AUDIT=1): aborts with
+// the kernel inputs on the first divergence. Bitwise so NaN-propagating
+// inputs (negative counts from async staleness) still compare equal.
+void audit_mismatch(const char* kernel, double got, double ref,
+                    std::size_t n) noexcept {
+  std::fprintf(stderr, "hsbp: HSBP_SIMD_AUDIT %s diverged: n=%zu %s=%.17g scalar=%.17g\n",
+               kernel, n, util::simd::level_name(util::simd::active_level()),
+               got, ref);
+  std::abort();
+}
+
+bool bits_differ(double x, double y) noexcept {
+  return std::memcmp(&x, &y, sizeof(double)) != 0;
+}
+
+}  // namespace
+
+double xlogx_diff_sum(const Count* newv, const Count* oldv,
+                      std::size_t n) noexcept {
+#if HSBP_SIMD_X86
+  double got;
+  switch (util::simd::active_level()) {
+    case Level::kAvx2:
+      got = xlogx_diff_sum_avx2(newv, oldv, n);
+      break;
+    case Level::kSse2:
+      got = xlogx_diff_sum_sse2(newv, oldv, n);
+      break;
+    default:
+      return xlogx_diff_sum_scalar(newv, oldv, n);
+  }
+  if (util::simd::audit_enabled()) {
+    const double ref = xlogx_diff_sum_scalar(newv, oldv, n);
+    if (bits_differ(ref, got)) audit_mismatch("xlogx_diff_sum", got, ref, n);
+  }
+  return got;
+#else
+  return xlogx_diff_sum_scalar(newv, oldv, n);
+#endif
+}
+
+double merge_fold_sum(const Count* a, const Count* b, const Count* c,
+                      std::size_t n) noexcept {
+#if HSBP_SIMD_X86
+  double got;
+  switch (util::simd::active_level()) {
+    case Level::kAvx2:
+      got = merge_fold_sum_avx2(a, b, c, n);
+      break;
+    case Level::kSse2:
+      got = merge_fold_sum_sse2(a, b, c, n);
+      break;
+    default:
+      return merge_fold_sum_scalar(a, b, c, n);
+  }
+  if (util::simd::audit_enabled()) {
+    const double ref = merge_fold_sum_scalar(a, b, c, n);
+    if (bits_differ(ref, got)) audit_mismatch("merge_fold_sum", got, ref, n);
+  }
+  return got;
+#else
+  return merge_fold_sum_scalar(a, b, c, n);
+#endif
+}
+
+}  // namespace hsbp::blockmodel::simd

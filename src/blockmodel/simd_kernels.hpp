@@ -1,0 +1,34 @@
+/// \file simd_kernels.hpp
+/// \brief Batched xlogx-table kernels for the ΔMDL inner loops
+/// (DESIGN §13).
+///
+/// The ΔMDL kernels reduce to sums of xlogx_count() terms over small
+/// integer counts. The callers (vertex_move_delta, merge_delta) stage
+/// the counts into contiguous scratch arrays; these kernels then gather
+/// from detail::xlogx_table (`vgatherqpd` on AVX2) and accumulate in
+/// the canonical strided-4 order of util/simd.hpp, so every dispatch
+/// level returns the same bits. Counts at or above kXlogxTableSize fall
+/// back lane-wise to the live-log xlogx_count() — the identical
+/// expression the table was filled with, so the fallback is also
+/// bit-identical.
+#pragma once
+
+#include <cstddef>
+
+#include "blockmodel/xlogx_table.hpp"
+
+namespace hsbp::blockmodel::simd {
+
+/// Σ4 [ xlogx_count(newv[i]) − xlogx_count(oldv[i]) ] — the changed-cell
+/// likelihood delta of a vertex move. \pre all counts >= 0.
+double xlogx_diff_sum(const Count* newv, const Count* oldv,
+                      std::size_t n) noexcept;
+
+/// Σ4 [ (xlogx_count(a[i]) − xlogx_count(b[i])) − xlogx_count(c[i]) ] —
+/// the off-corner fold terms of a block merge, a = merged cell,
+/// b = existing cell, c = folded cell. \pre a[i] == b[i] + c[i] and all
+/// counts >= 0 (the AVX2 path range-checks only a[i], which dominates).
+double merge_fold_sum(const Count* a, const Count* b, const Count* c,
+                      std::size_t n) noexcept;
+
+}  // namespace hsbp::blockmodel::simd

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "blockmodel/simd_kernels.hpp"
 #include "blockmodel/xlogx_table.hpp"
 
 namespace hsbp::blockmodel {
@@ -31,66 +32,86 @@ Count MoveDelta::new_value(const Blockmodel& b, BlockId row,
   return value;
 }
 
-namespace {
-
-/// Canonical (lane, partner) encoding of a changed cell. Every cell a
-/// move from→to touches has its row or column in {from, to}; testing in
-/// this fixed order makes the encoding injective, so one stamp slot
-/// identifies one cell.
-inline std::pair<int, BlockId> cell_lane(BlockId row, BlockId col,
-                                         BlockId from, BlockId to) noexcept {
-  if (row == from) return {MoveScratch::kRowFrom, col};
-  if (row == to) return {MoveScratch::kRowTo, col};
-  if (col == from) return {MoveScratch::kColFrom, row};
-  return {MoveScratch::kColTo, row};  // col == to
-}
-
-}  // namespace
-
 void vertex_move_delta_into(const Blockmodel& b, BlockId from, BlockId to,
                             const NeighborBlockCounts& nb,
                             MoveScratch& scratch) {
   assert(from != to);
   auto& cells = scratch.delta.cell_deltas;
+  auto& batch = scratch.batch;
   cells.clear();
-  scratch.begin_epoch();
   scratch.set_move(from, to);
 
-  const auto add_cell = [&](BlockId row, BlockId col, Count delta) {
-    const auto [lane, partner] = cell_lane(row, col, from, to);
-    std::int32_t& s = scratch.slot(partner, lane);
-    if (s < 0) {
-      s = static_cast<std::int32_t>(cells.size());
-      cells.push_back({row, col, delta});
-    } else {
-      cells[static_cast<std::size_t>(s)].delta += delta;
-    }
+  // Out-edges touch only rows from/to, in-edges only columns from/to,
+  // and self-loops only the diagonal — so contributions can overlap
+  // solely on the four corner cells {from,to}×{from,to}. Splitting
+  // those four into scalar accumulators makes every other cell unique,
+  // and the cell list becomes pure appends: non-corner out pairs, then
+  // non-corner in pairs, then the nonzero corners. That order is the
+  // canonical cell order (DESIGN §13) the reference kernels and the
+  // batched Hastings rescan both rely on.
+  //
+  // Each cell's (pre, post) value pair is staged as the cell is built —
+  // one indexed probe of a hoisted from/to slice per cell — keeping
+  // old_vals/new_vals aligned with the cell list; the batched Hastings
+  // correction reads the staged values back instead of re-probing the
+  // matrix.
+  const DictTransposeMatrix& m = b.matrix();
+  const FlatSlice& row_from = m.row(from);
+  const FlatSlice& row_to = m.row(to);
+  const FlatSlice& col_from = m.col(from);
+  const FlatSlice& col_to = m.col(to);
+  const std::size_t max_cells = 2 * (nb.out.size() + nb.in.size()) + 4;
+  if (batch.old_vals.size() < max_cells) {
+    batch.old_vals.resize(max_cells);
+    batch.new_vals.resize(max_cells);
+  }
+  std::size_t n = 0;
+  const auto stage = [&](BlockId row, BlockId col, Count delta, Count old_v) {
+    assert(old_v + delta >= 0);
+    cells.push_back({row, col, delta});
+    batch.old_vals[n] = old_v;
+    batch.new_vals[n] = old_v + delta;
+    ++n;
   };
 
-  // Out-edges v→u (u keeps its block t): (from,t) loses, (to,t) gains.
+  Count ko_f = 0, ko_t = 0, ki_f = 0, ki_t = 0;
   for (const auto& [t, k] : nb.out) {
-    add_cell(from, t, -k);
-    add_cell(to, t, +k);
+    if (t == from) {
+      ko_f = k;
+    } else if (t == to) {
+      ko_t = k;
+    } else {
+      stage(from, t, -k, row_from.get(t));
+      stage(to, t, +k, row_to.get(t));
+    }
   }
-  // In-edges u→v: (t,from) loses, (t,to) gains.
   for (const auto& [t, k] : nb.in) {
-    add_cell(t, from, -k);
-    add_cell(t, to, +k);
+    if (t == from) {
+      ki_f = k;
+    } else if (t == to) {
+      ki_t = k;
+    } else {
+      stage(t, from, -k, col_from.get(t));
+      stage(t, to, +k, col_to.get(t));
+    }
   }
-  // Self-loops move diagonally.
-  if (nb.self_loops > 0) {
-    add_cell(from, from, -nb.self_loops);
-    add_cell(to, to, +nb.self_loops);
-  }
+  const Count self = nb.self_loops;
+  const Count d_ff = -(ko_f + ki_f + self);
+  const Count d_tf = ko_f - ki_t;
+  const Count d_ft = ki_f - ko_t;
+  const Count d_tt = ko_t + ki_t + self;
+  scratch.set_corners(d_ff, d_tf, d_ft, d_tt);
+  if (d_ff != 0) stage(from, from, d_ff, row_from.get(from));
+  if (d_tf != 0) stage(to, from, d_tf, row_to.get(from));
+  if (d_ft != 0) stage(from, to, d_ft, row_from.get(to));
+  if (d_tt != 0) stage(to, to, d_tt, row_to.get(to));
 
-  double delta_cells = 0.0;
-  for (const CellDelta& cd : cells) {
-    if (cd.delta == 0) continue;
-    const Count old_value = b.matrix().get(cd.row, cd.col);
-    const Count new_value = old_value + cd.delta;
-    assert(new_value >= 0);
-    delta_cells += xlogx_count(new_value) - xlogx_count(old_value);
-  }
+  // Reduce with the batched xlogx kernel: term order is the cell order,
+  // and the reduction uses the canonical strided-4 accumulation (DESIGN
+  // §13), which the reference kernels mirror — results stay
+  // bit-identical across dispatch levels.
+  const double delta_cells =
+      simd::xlogx_diff_sum(batch.new_vals.data(), batch.old_vals.data(), n);
 
   const auto degree_delta = [](Count before_from, Count before_to, Count k) {
     return xlogx_count(before_from - k) - xlogx_count(before_from) +
@@ -109,12 +130,19 @@ Count move_new_value(const Blockmodel& b, const MoveScratch& scratch,
   const Count value = b.matrix().get(row, col);
   const BlockId from = scratch.move_from();
   const BlockId to = scratch.move_to();
-  if (row != from && row != to && col != from && col != to) return value;
-  const auto [lane, partner] = cell_lane(row, col, from, to);
-  const std::int32_t s = scratch.slot_or_empty(partner, lane);
-  if (s < 0) return value;
-  return value +
-         scratch.delta.cell_deltas[static_cast<std::size_t>(s)].delta;
+  if (row == from) {
+    if (col == from) return value + scratch.corner_ff();
+    if (col == to) return value + scratch.corner_ft();
+    return value - scratch.out_count(col);
+  }
+  if (row == to) {
+    if (col == from) return value + scratch.corner_tf();
+    if (col == to) return value + scratch.corner_tt();
+    return value + scratch.out_count(col);
+  }
+  if (col == from) return value - scratch.in_count(row);
+  if (col == to) return value + scratch.in_count(row);
+  return value;
 }
 
 MoveDelta vertex_move_delta(const Blockmodel& b, BlockId from, BlockId to,

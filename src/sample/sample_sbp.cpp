@@ -73,7 +73,7 @@ sbp::PhaseOutcome finetune(const Graph& graph, Blockmodel& model,
   settings.beta = config.base.beta;
   settings.threshold = config.finetune_threshold;
   settings.max_iterations = config.finetune_max_iterations;
-  settings.dynamic_schedule = config.base.dynamic_schedule;
+  settings.schedule = config.base.schedule;
 
   // An independent deterministic stream: the sampler consumed
   // Rng(seed), the subgraph fit consumed RngPool(seed).

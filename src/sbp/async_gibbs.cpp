@@ -34,7 +34,7 @@ PhaseOutcome async_gibbs_phase(const Graph& graph, Blockmodel& b,
     // adaptive fallback to a full rebuild on high-acceptance passes.
     const auto counters =
         detail::async_pass(graph, b, ws, vertices, settings.beta, rngs,
-                           settings.dynamic_schedule);
+                           settings.schedule);
     stats.proposals += counters.proposals;
     stats.accepted += counters.accepted;
     outcome.parallel_updates += graph.num_vertices();

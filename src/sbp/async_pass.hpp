@@ -34,8 +34,27 @@
 
 #include "blockmodel/blockmodel.hpp"
 #include "sbp/mcmc_common.hpp"
+#include "sbp/schedule.hpp"
 #include "util/omp_region.hpp"
 #include "util/rng.hpp"
+
+// The hot pass body reads the shared memberships through a plain-load
+// FlatMembershipView: for lock-free std::atomic<int32> a relaxed load
+// and a plain load are the same instruction, and the hogwild pass
+// tolerates any torn interleaving by design (it only needs *some*
+// recently-valid label). Under ThreadSanitizer the genuine atomic view
+// is kept so the race checker sees the accesses as the relaxed atomics
+// they semantically are.
+#if defined(__SANITIZE_THREAD__)
+#define HSBP_ASYNC_ATOMIC_VIEW 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HSBP_ASYNC_ATOMIC_VIEW 1
+#endif
+#endif
+#ifndef HSBP_ASYNC_ATOMIC_VIEW
+#define HSBP_ASYNC_ATOMIC_VIEW 0
+#endif
 
 namespace hsbp::sbp::detail {
 
@@ -97,6 +116,7 @@ struct PassWorkspace {
   AtomicSizes sizes;
   std::vector<std::vector<MoveRecord>> logs;
   std::vector<std::int32_t> snapshot;  ///< scratch for the fallback path
+  std::vector<graph::Vertex> order;    ///< DegreeSorted reorder buffer
   /// Per-thread proposal/acceptance tallies, summed serially after the
   /// pass (an OpenMP reduction would merge through libgomp internals
   /// ThreadSanitizer cannot see; explicit slots keep the handoff on the
@@ -154,17 +174,23 @@ inline constexpr double kDefaultRebuildThreshold = 0.25;
 /// blockmodel for proposal weights and ΔMDL; `ws.shared`/`ws.sizes`
 /// carry the evolving memberships, and every accepted move is logged in
 /// the executing thread's `ws.logs` entry (cleared here at pass start).
-/// The default static schedule keeps the vertex→thread→RNG mapping
-/// deterministic for a fixed thread count; `dynamic_schedule` trades
-/// that for load balance on skewed degree distributions (the paper's
-/// §5.5 load-balancing remark).
-inline AsyncPassCounters async_pass(const graph::Graph& graph,
-                                    const blockmodel::Blockmodel& b,
-                                    PassWorkspace& ws,
-                                    std::span<const graph::Vertex> vertices,
-                                    double beta, util::RngPool& rngs,
-                                    bool dynamic_schedule = false) {
+/// `schedule` picks the work distribution (see schedule.hpp): the
+/// default Static keeps the vertex→thread→RNG mapping deterministic for
+/// a fixed thread count; Dynamic/Guided trade that for load balance on
+/// skewed degree distributions (the paper's §5.5 remark), and
+/// DegreeSorted deals the heavy vertices round-robin while staying
+/// deterministic. The evolving-membership semantics are identical in
+/// every mode — only which thread evaluates which vertex (and hence
+/// which staleness interleavings occur) changes.
+inline AsyncPassCounters async_pass(
+    const graph::Graph& graph, const blockmodel::Blockmodel& b,
+    PassWorkspace& ws, std::span<const graph::Vertex> vertices, double beta,
+    util::RngPool& rngs, PassSchedule schedule = PassSchedule::Static) {
   AsyncPassCounters counters;
+  if (schedule == PassSchedule::DegreeSorted) {
+    degree_sorted_order(graph, vertices, ws.order);
+    vertices = ws.order;
+  }
   const auto count = static_cast<std::int64_t>(vertices.size());
 
   const auto threads = static_cast<std::size_t>(omp_get_max_threads());
@@ -186,13 +212,21 @@ inline AsyncPassCounters async_pass(const graph::Graph& graph,
   // accumulators, written out once per thread at pass end. Each thread
   // evaluates through its own MoveScratch arena, so steady-state
   // passes allocate nothing.
+#if HSBP_ASYNC_ATOMIC_VIEW
+  const auto view = [&shared](graph::Vertex u) {
+    return shared[static_cast<std::size_t>(u)].load(std::memory_order_relaxed);
+  };
+#else
+  static_assert(sizeof(std::atomic<std::int32_t>) == sizeof(std::int32_t) &&
+                    std::atomic<std::int32_t>::is_always_lock_free,
+                "flat view over the shared assignment requires plain-layout "
+                "lock-free atomics");
+  const blockmodel::FlatMembershipView view{
+      reinterpret_cast<const std::int32_t*>(shared.data())};
+#endif
   const auto body = [&](std::int64_t i, std::int64_t& proposals_local,
                         std::int64_t& accepted_local) {
     const graph::Vertex v = vertices[static_cast<std::size_t>(i)];
-    const auto view = [&shared](graph::Vertex u) {
-      return shared[static_cast<std::size_t>(u)].load(
-          std::memory_order_relaxed);
-    };
     const std::int32_t from = view(v);
     const std::int32_t source_size =
         sizes[static_cast<std::size_t>(from)].load(std::memory_order_relaxed);
@@ -221,18 +255,35 @@ inline AsyncPassCounters async_pass(const graph::Graph& graph,
   util::omp_region([&] {
     std::int64_t proposals_local = 0;
     std::int64_t accepted_local = 0;
-    // Every thread takes the same branch, so the team encounters the
-    // same single worksharing construct either way.
-    if (dynamic_schedule) {
+    // Every thread takes the same branch (schedule is uniform across
+    // the team), so the team encounters one worksharing construct.
+    switch (schedule) {
+      case PassSchedule::Dynamic:
 #pragma omp for schedule(dynamic, 64) nowait
-      for (std::int64_t i = 0; i < count; ++i) {
-        body(i, proposals_local, accepted_local);
-      }
-    } else {
+        for (std::int64_t i = 0; i < count; ++i) {
+          body(i, proposals_local, accepted_local);
+        }
+        break;
+      case PassSchedule::Guided:
+#pragma omp for schedule(guided) nowait
+        for (std::int64_t i = 0; i < count; ++i) {
+          body(i, proposals_local, accepted_local);
+        }
+        break;
+      case PassSchedule::DegreeSorted:
+        // The list is degree-descending; chunk size 1 deals it
+        // round-robin so each thread gets an even heavy/light mix.
+#pragma omp for schedule(static, 1) nowait
+        for (std::int64_t i = 0; i < count; ++i) {
+          body(i, proposals_local, accepted_local);
+        }
+        break;
+      case PassSchedule::Static:
 #pragma omp for schedule(static) nowait
-      for (std::int64_t i = 0; i < count; ++i) {
-        body(i, proposals_local, accepted_local);
-      }
+        for (std::int64_t i = 0; i < count; ++i) {
+          body(i, proposals_local, accepted_local);
+        }
+        break;
     }
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     ws.thread_proposals[tid] = proposals_local;

@@ -52,7 +52,7 @@ PhaseOutcome batched_gibbs_phase(const Graph& graph, Blockmodel& b,
                                           end - begin);
       const auto counters =
           detail::async_pass(graph, b, ws, slice, settings.beta, rngs,
-                             settings.dynamic_schedule);
+                             settings.schedule);
       stats.proposals += counters.proposals;
       stats.accepted += counters.accepted;
       outcome.parallel_updates += static_cast<std::int64_t>(slice.size());

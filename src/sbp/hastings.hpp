@@ -28,11 +28,16 @@ double hastings_correction(const blockmodel::Blockmodel& b,
                            const blockmodel::MoveDelta& delta);
 
 /// Same correction, reading the move description (neighbor counts,
-/// cell deltas, and the stamp index that answers post-move cell values
-/// in O(1)) from the scratch a preceding vertex_move_delta_into filled.
-/// \pre from != to; scratch holds that move's gather + delta.
+/// staged cell values, count accumulators and corner deltas) from the
+/// scratch a preceding gather + vertex_move_delta_into filled. This is
+/// the batched hot path: per-term operands are staged into the
+/// scratch's batch arrays (two matrix probes per term instead of four
+/// — hence the non-const scratch; the move description itself is only
+/// read) and reduced with util::simd::ratio_pair_sums — bit-identical
+/// to the MoveDelta overload above. \pre from != to; scratch holds
+/// that move's gather + delta.
 double hastings_correction(const blockmodel::Blockmodel& b,
                            blockmodel::BlockId from, blockmodel::BlockId to,
-                           const blockmodel::MoveScratch& scratch);
+                           blockmodel::MoveScratch& scratch);
 
 }  // namespace hsbp::sbp

@@ -30,8 +30,11 @@ PhaseOutcome hybrid_phase(const Graph& graph, Blockmodel& b,
   for (int pass = 0; pass < settings.max_iterations; ++pass) {
     // Alg. 4, first half: the influential high-degree vertices get a
     // synchronous Metropolis-Hastings sweep with in-place updates, so
-    // they "switch communities first" against fresh state.
-    const auto fresh_view = [&b](Vertex u) { return b.block_of(u); };
+    // they "switch communities first" against fresh state. The flat
+    // view reads the in-place-updated assignment directly (no
+    // reallocation ever happens) and batch-gathers memberships for
+    // exactly these high-degree vertices.
+    const blockmodel::FlatMembershipView fresh_view{b.assignment().data()};
     for (const Vertex v : split.high) {
       const auto result =
           evaluate_vertex(graph, b, fresh_view, v,
@@ -51,7 +54,7 @@ PhaseOutcome hybrid_phase(const Graph& graph, Blockmodel& b,
     // against the post-sweep blockmodel, applied as move deltas.
     const auto counters =
         detail::async_pass(graph, b, ws, split.low, settings.beta, rngs,
-                           settings.dynamic_schedule);
+                           settings.schedule);
     stats.proposals += counters.proposals;
     stats.accepted += counters.accepted;
     outcome.parallel_updates += static_cast<std::int64_t>(split.low.size());

@@ -12,6 +12,7 @@
 #include "blockmodel/vertex_move_delta.hpp"
 #include "sbp/hastings.hpp"
 #include "sbp/proposal.hpp"
+#include "sbp/schedule.hpp"
 #include "util/rng.hpp"
 
 namespace hsbp::sbp {
@@ -22,9 +23,9 @@ struct McmcSettings {
   double beta = 3.0;
   double threshold = 1e-4;   ///< t in "ΔMDL < t × MDL"
   int max_iterations = 100;  ///< x in Algs. 2–4
-  /// Dynamic OpenMP schedule for the asynchronous passes (load balance
-  /// vs. reproducibility; see SbpConfig::dynamic_schedule).
-  bool dynamic_schedule = false;
+  /// Work distribution of the asynchronous passes (load balance vs.
+  /// reproducibility; see schedule.hpp and SbpConfig::schedule).
+  PassSchedule schedule = PassSchedule::Static;
   /// Adaptive pass-apply fallback: rebuild the blockmodel instead of
   /// applying move deltas when a pass moved more than this fraction of
   /// the directed edge mass (detail::kDefaultRebuildThreshold).

@@ -19,7 +19,11 @@ PhaseOutcome metropolis_hastings_phase(const Graph& graph, Blockmodel& b,
   util::Rng& rng = rngs.stream(0);  // serial chain: one deterministic stream
   blockmodel::MoveScratch& scratch = blockmodel::thread_move_scratch();
 
-  const auto view = [&b](Vertex u) { return b.block_of(u); };
+  // Flat view over the blockmodel's own assignment: move_vertex updates
+  // labels in place (the vector never reallocates), so the base pointer
+  // stays valid and reads are always fresh. The typed view lets the
+  // gather batch its membership loads for high-degree vertices.
+  const blockmodel::FlatMembershipView view{b.assignment().data()};
 
   for (int pass = 0; pass < settings.max_iterations; ++pass) {
     double pass_delta = 0.0;

@@ -176,7 +176,7 @@ SbpResult run_impl(const Graph& graph, const SbpConfig& config,
     McmcSettings settings;
     settings.beta = config.beta;
     settings.max_iterations = config.max_mcmc_iterations;
-    settings.dynamic_schedule = config.dynamic_schedule;
+    settings.schedule = config.schedule;
     settings.threshold = search.bracket_established()
                              ? config.mcmc_threshold_post_bracket
                              : config.mcmc_threshold_pre_bracket;

@@ -26,6 +26,7 @@
 #include "blockmodel/blockmodel.hpp"
 #include "ckpt/config.hpp"
 #include "graph/graph.hpp"
+#include "sbp/schedule.hpp"
 #include "sbp/vertex_selection.hpp"
 
 namespace hsbp::sbp {
@@ -77,10 +78,12 @@ struct SbpConfig {
   /// are at most 1/batch_count of a pass stale.
   int batch_count = 4;
 
-  /// Use a dynamic OpenMP schedule in the asynchronous passes. Improves
-  /// load balance on skewed degree distributions (the paper's §5.5
-  /// observation) at the cost of run-to-run reproducibility.
-  bool dynamic_schedule = false;
+  /// Work distribution of the asynchronous passes (schedule.hpp).
+  /// Dynamic/Guided improve load balance on skewed degree distributions
+  /// (the paper's §5.5 observation) at the cost of run-to-run
+  /// reproducibility; DegreeSorted balances hubs across threads while
+  /// staying deterministic at a fixed thread count.
+  PassSchedule schedule = PassSchedule::Static;
 
   std::uint64_t seed = 0;
 

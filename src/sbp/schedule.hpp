@@ -1,0 +1,55 @@
+/// \file schedule.hpp
+/// \brief Work-distribution policy for the asynchronous MCMC passes
+/// (DESIGN §13).
+///
+/// The async pass's default `schedule(static)` gives every thread one
+/// contiguous vertex range — deterministic (fixed vertex→thread→RNG
+/// mapping at a fixed thread count) but skew-blind: one hub-heavy chunk
+/// serializes the pass (the paper's §5.5 load-balancing remark). The
+/// alternatives trade determinism or ordering for balance:
+///
+///   - Static:       contiguous chunks; deterministic; the default.
+///   - Dynamic:      `schedule(dynamic, 64)`; threads steal 64-vertex
+///                   chunks; nondeterministic assignment.
+///   - Guided:       `schedule(guided)`; geometrically shrinking chunks;
+///                   nondeterministic assignment, lower steal overhead
+///                   than Dynamic on long loops.
+///   - DegreeSorted: vertices re-ordered by descending degree, then
+///                   dealt round-robin (`schedule(static, 1)`); the
+///                   heavy vertices spread across threads first, so the
+///                   mapping is again deterministic at a fixed thread
+///                   count — just a different one than Static.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hsbp::sbp {
+
+/// OpenMP work distribution of an asynchronous pass over its vertex set.
+enum class PassSchedule {
+  Static,
+  Dynamic,
+  Guided,
+  DegreeSorted,
+};
+
+/// Stable lowercase name ("static", "dynamic", "guided",
+/// "degree-sorted") — the CLI/bench spelling.
+const char* schedule_name(PassSchedule schedule) noexcept;
+
+/// Inverse of schedule_name; nullopt for unknown spellings.
+std::optional<PassSchedule> parse_schedule(std::string_view name) noexcept;
+
+/// Fills `out` with `vertices` re-ordered by descending total degree.
+/// Ties keep their input order (stable), so the result — and therefore
+/// the DegreeSorted vertex→thread mapping — is deterministic.
+void degree_sorted_order(const graph::Graph& graph,
+                         std::span<const graph::Vertex> vertices,
+                         std::vector<graph::Vertex>& out);
+
+}  // namespace hsbp::sbp

@@ -12,6 +12,16 @@
 /// makes the rewrite a pure performance change — so the tests compare
 /// results with ==, not EXPECT_NEAR.
 ///
+/// One deliberate departure from the pre-rewrite code: floating-point
+/// term sums use the canonical strided-4 accumulation order of
+/// util/simd.hpp (lane[i mod 4] += term[i]; (l0+l1)+(l2+l3)) instead of
+/// a single serial chain. The canonical order is part of the kernel
+/// contract since the SIMD layer (DESIGN §13): it is the unique order
+/// that a 4-lane vector accumulator, two 2-lane accumulators, and four
+/// scalar registers all reproduce exactly, so scalar/SSE2/AVX2 dispatch
+/// levels and these references agree bit-for-bit. Per-term arithmetic
+/// is unchanged.
+///
 /// Deliberately header-only: the reference code must not be linked into
 /// the library, only into test binaries.
 #pragma once
@@ -100,41 +110,59 @@ inline MoveDelta vertex_move_delta(const Blockmodel& b, BlockId from,
   auto& cells = result.cell_deltas;
   cells.reserve(2 * (nb.out.size() + nb.in.size()) + 4);
 
-  const auto add_cell = [&cells](BlockId row, BlockId col, Count delta) {
-    for (CellDelta& cd : cells) {
-      if (cd.row == row && cd.col == col) {
-        cd.delta += delta;
-        return;
-      }
-    }
-    cells.push_back({row, col, delta});
-  };
-
+  // Canonical cell order (see the file docblock): non-corner out pairs,
+  // non-corner in pairs, then the nonzero corner cells. Out-edges touch
+  // only rows from/to and in-edges only columns from/to, so the four
+  // corners {from,to}×{from,to} are the only cells where contributions
+  // overlap; they are collected in scalar accumulators.
+  Count ko_f = 0, ko_t = 0, ki_f = 0, ki_t = 0;
   // Out-edges v→u (u keeps its block t): (from,t) loses, (to,t) gains.
   for (const auto& [t, k] : nb.out) {
-    add_cell(from, t, -k);
-    add_cell(to, t, +k);
+    if (t == from) {
+      ko_f = k;
+    } else if (t == to) {
+      ko_t = k;
+    } else {
+      cells.push_back({from, t, -k});
+      cells.push_back({to, t, +k});
+    }
   }
   // In-edges u→v: (t,from) loses, (t,to) gains.
   for (const auto& [t, k] : nb.in) {
-    add_cell(t, from, -k);
-    add_cell(t, to, +k);
+    if (t == from) {
+      ki_f = k;
+    } else if (t == to) {
+      ki_t = k;
+    } else {
+      cells.push_back({t, from, -k});
+      cells.push_back({t, to, +k});
+    }
   }
   // Self-loops move diagonally.
-  if (nb.self_loops > 0) {
-    add_cell(from, from, -nb.self_loops);
-    add_cell(to, to, +nb.self_loops);
-  }
+  const Count self = nb.self_loops;
+  const Count d_ff = -(ko_f + ki_f + self);
+  const Count d_tf = ko_f - ki_t;
+  const Count d_ft = ki_f - ko_t;
+  const Count d_tt = ko_t + ki_t + self;
+  if (d_ff != 0) cells.push_back({from, from, d_ff});
+  if (d_tf != 0) cells.push_back({to, from, d_tf});
+  if (d_ft != 0) cells.push_back({from, to, d_ft});
+  if (d_tt != 0) cells.push_back({to, to, d_tt});
 
-  double delta_cells = 0.0;
+  // Canonical strided-4 sum over the cells, in cell order (see the
+  // file docblock). Every listed cell has a nonzero delta.
+  double cell_lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t cell_idx = 0;
   for (const CellDelta& cd : cells) {
-    if (cd.delta == 0) continue;
     const Count old_value = b.matrix().get(cd.row, cd.col);
     const Count new_cell = old_value + cd.delta;
     assert(new_cell >= 0);
-    delta_cells += xlogx(static_cast<double>(new_cell)) -
-                   xlogx(static_cast<double>(old_value));
+    cell_lanes[cell_idx & 3] += xlogx(static_cast<double>(new_cell)) -
+                                xlogx(static_cast<double>(old_value));
+    ++cell_idx;
   }
+  const double delta_cells =
+      (cell_lanes[0] + cell_lanes[1]) + (cell_lanes[2] + cell_lanes[3]);
 
   const auto degree_delta = [](Count before_from, Count before_to, Count k) {
     return xlogx(static_cast<double>(before_from - k)) -
@@ -160,8 +188,11 @@ inline double hastings_correction(const Blockmodel& b,
   const double c = static_cast<double>(b.num_blocks());
   const Count mover_degree = nb.degree_total();
 
-  double forward = 0.0;
-  double backward = 0.0;
+  // Canonical strided-4 sums over the out-then-in neighbor terms (see
+  // the file docblock).
+  double fwd_lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  double bwd_lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t idx = 0;
 
   const auto accumulate = [&](BlockId t, Count k) {
     const double kd = static_cast<double>(k);
@@ -171,7 +202,7 @@ inline double hastings_correction(const Blockmodel& b,
                                                b.matrix().get(to, t)) +
                            1.0;
     const double fwd_den = static_cast<double>(b.degree_total(t)) + c;
-    forward += kd * fwd_num / fwd_den;
+    fwd_lanes[idx & 3] += kd * fwd_num / fwd_den;
 
     // Backward: post-move matrix and degrees (only from/to degrees move).
     const double bwd_num = static_cast<double>(new_value(b, delta, t, from) +
@@ -181,12 +212,17 @@ inline double hastings_correction(const Blockmodel& b,
     if (t == from) d_t -= mover_degree;
     if (t == to) d_t += mover_degree;
     const double bwd_den = static_cast<double>(d_t) + c;
-    backward += kd * bwd_num / bwd_den;
+    bwd_lanes[idx & 3] += kd * bwd_num / bwd_den;
+    ++idx;
   };
 
   for (const auto& [t, k] : nb.out) accumulate(t, k);
   for (const auto& [t, k] : nb.in) accumulate(t, k);
 
+  const double forward =
+      (fwd_lanes[0] + fwd_lanes[1]) + (fwd_lanes[2] + fwd_lanes[3]);
+  const double backward =
+      (bwd_lanes[0] + bwd_lanes[1]) + (bwd_lanes[2] + bwd_lanes[3]);
   if (forward <= 0.0) return 1.0;  // isolated vertex: symmetric proposal
   return backward / forward;
 }
@@ -198,34 +234,43 @@ inline double merge_delta_mdl(const Blockmodel& b, BlockId from, BlockId to,
   assert(from != to);
   const blockmodel::DictTransposeMatrix& m = b.matrix();
 
-  double delta_cells = 0.0;
+  // Canonical strided-4 sum over the row-then-column fold terms; the
+  // corner term is one scalar expression added after the lane combine
+  // (see the file docblock).
+  double fold_lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t fold_idx = 0;
 
   // Off-corner cells of row `from` fold into row `to`.
   for (const auto& [t, value] : m.row(from)) {
     if (t == from || t == to) continue;
     const Count existing = m.get(to, t);
-    delta_cells += xlogx(static_cast<double>(existing + value)) -
-                   xlogx(static_cast<double>(existing)) -
-                   xlogx(static_cast<double>(value));
+    fold_lanes[fold_idx & 3] += xlogx(static_cast<double>(existing + value)) -
+                                xlogx(static_cast<double>(existing)) -
+                                xlogx(static_cast<double>(value));
+    ++fold_idx;
   }
   // Off-corner cells of column `from` fold into column `to`.
   for (const auto& [t, value] : m.col(from)) {
     if (t == from || t == to) continue;
     const Count existing = m.get(t, to);
-    delta_cells += xlogx(static_cast<double>(existing + value)) -
-                   xlogx(static_cast<double>(existing)) -
-                   xlogx(static_cast<double>(value));
+    fold_lanes[fold_idx & 3] += xlogx(static_cast<double>(existing + value)) -
+                                xlogx(static_cast<double>(existing)) -
+                                xlogx(static_cast<double>(value));
+    ++fold_idx;
   }
+  const double folded =
+      (fold_lanes[0] + fold_lanes[1]) + (fold_lanes[2] + fold_lanes[3]);
   // The four corner cells collapse into (to, to).
   const Count ff = m.get(from, from);
   const Count ft = m.get(from, to);
   const Count tf = m.get(to, from);
   const Count tt = m.get(to, to);
-  delta_cells += xlogx(static_cast<double>(tt + ff + ft + tf)) -
-                 xlogx(static_cast<double>(tt)) -
-                 xlogx(static_cast<double>(ff)) -
-                 xlogx(static_cast<double>(ft)) -
-                 xlogx(static_cast<double>(tf));
+  const double corner = xlogx(static_cast<double>(tt + ff + ft + tf)) -
+                        xlogx(static_cast<double>(tt)) -
+                        xlogx(static_cast<double>(ff)) -
+                        xlogx(static_cast<double>(ft)) -
+                        xlogx(static_cast<double>(tf));
+  const double delta_cells = folded + corner;
 
   // Degree terms: d(to) absorbs d(from).
   const auto merge_degrees = [](Count a, Count into) {

@@ -286,5 +286,132 @@ TEST(AsyncPass, SyncMoveKeepsWorkspaceInvariant) {
   }
 }
 
+TEST(Schedule, NamesRoundTrip) {
+  for (const PassSchedule s :
+       {PassSchedule::Static, PassSchedule::Dynamic, PassSchedule::Guided,
+        PassSchedule::DegreeSorted}) {
+    const auto parsed = parse_schedule(schedule_name(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_EQ(parse_schedule("degree_sorted"), PassSchedule::DegreeSorted);
+  EXPECT_FALSE(parse_schedule("auto").has_value());
+}
+
+TEST(Schedule, DegreeSortedOrderIsDescendingAndStable) {
+  generator::DcsbmParams p;
+  p.num_vertices = 120;
+  p.num_communities = 4;
+  p.num_edges = 900;
+  p.seed = 41;
+  const auto g = generator::generate_dcsbm(p);
+  std::vector<Vertex> all(120);
+  std::iota(all.begin(), all.end(), 0);
+
+  std::vector<Vertex> order;
+  degree_sorted_order(g.graph, all, order);
+  ASSERT_EQ(order.size(), all.size());
+  std::vector<Vertex> sorted_copy = order;
+  std::sort(sorted_copy.begin(), sorted_copy.end());
+  EXPECT_EQ(sorted_copy, all);  // a permutation
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const auto prev = g.graph.degree(order[i - 1]);
+    const auto cur = g.graph.degree(order[i]);
+    EXPECT_GE(prev, cur);
+    // Stability: equal degrees keep their input (ascending-id) order.
+    if (prev == cur) EXPECT_LT(order[i - 1], order[i]);
+  }
+}
+
+/// One pass + apply under every schedule: the work distribution must
+/// not affect any workspace or blockmodel invariant. Running this
+/// suite under TSan (ctest -L async in check_tier1.sh) exercises the
+/// chunk-stealing interleavings the static schedule never produces.
+class AsyncPassSchedule : public ::testing::TestWithParam<PassSchedule> {};
+
+TEST_P(AsyncPassSchedule, PassAndApplyKeepInvariants) {
+  generator::DcsbmParams p;
+  p.num_vertices = 300;
+  p.num_communities = 5;
+  p.num_edges = 2400;
+  p.seed = 42;
+  const auto g = generator::generate_dcsbm(p);
+  auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 5);
+
+  PassWorkspace ws;
+  ws.reset(b);
+  std::vector<Vertex> all(300);
+  std::iota(all.begin(), all.end(), 0);
+  util::RngPool rngs(11, 4);
+  const auto counters =
+      async_pass(g.graph, b, ws, all, 3.0, rngs, GetParam());
+  EXPECT_EQ(counters.proposals, 300);
+  EXPECT_LE(counters.accepted, counters.proposals);
+
+  // Size accounting stays exact and no block empties, regardless of
+  // which thread evaluated which vertex.
+  const auto result = snapshot_assignment(ws.shared);
+  std::vector<std::int32_t> recounted(5, 0);
+  for (const std::int32_t label : result) {
+    ++recounted[static_cast<std::size_t>(label)];
+  }
+  for (BlockId r = 0; r < 5; ++r) {
+    EXPECT_EQ(ws.sizes[static_cast<std::size_t>(r)].load(),
+              recounted[static_cast<std::size_t>(r)]);
+    EXPECT_GT(recounted[static_cast<std::size_t>(r)], 0);
+  }
+
+  // The applied blockmodel lands exactly on the shared memberships.
+  finish_pass(g.graph, b, ws);
+  EXPECT_EQ(b.assignment(), result);
+}
+
+TEST_P(AsyncPassSchedule, DeterministicForSingleThreadTeam) {
+  // Static and DegreeSorted promise a deterministic vertex→thread→RNG
+  // mapping at a fixed thread count; with a single-thread team every
+  // schedule degenerates to a fixed order, so all four must replay.
+  generator::DcsbmParams p;
+  p.num_vertices = 150;
+  p.num_communities = 4;
+  p.num_edges = 1000;
+  p.seed = 43;
+  const auto g = generator::generate_dcsbm(p);
+  const auto b = Blockmodel::from_assignment(g.graph, g.ground_truth, 4);
+  std::vector<Vertex> all(150);
+  std::iota(all.begin(), all.end(), 0);
+
+  const int prev_threads = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const auto run_once = [&]() {
+    PassWorkspace ws;
+    ws.reset(b);
+    util::RngPool rngs(9, 4);
+    async_pass(g.graph, b, ws, all, 3.0, rngs, GetParam());
+    return snapshot_assignment(ws.shared);
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  omp_set_num_threads(prev_threads);
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, AsyncPassSchedule,
+    ::testing::Values(PassSchedule::Static, PassSchedule::Dynamic,
+                      PassSchedule::Guided, PassSchedule::DegreeSorted),
+    [](const ::testing::TestParamInfo<PassSchedule>& info) {
+      switch (info.param) {
+        case PassSchedule::Static:
+          return "Static";
+        case PassSchedule::Dynamic:
+          return "Dynamic";
+        case PassSchedule::Guided:
+          return "Guided";
+        case PassSchedule::DegreeSorted:
+          return "DegreeSorted";
+      }
+      return "Unknown";
+    });
+
 }  // namespace
 }  // namespace hsbp::sbp::detail

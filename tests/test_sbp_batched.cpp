@@ -98,7 +98,7 @@ TEST(BatchedGibbs, DynamicScheduleAlsoConverges) {
   const auto g = planted(85);
   SbpConfig config;
   config.variant = Variant::BatchedGibbs;
-  config.dynamic_schedule = true;
+  config.schedule = hsbp::sbp::PassSchedule::Dynamic;
   config.seed = 6;
   const auto result = run(g.graph, config);
   EXPECT_GT(metrics::nmi(g.ground_truth, result.assignment), 0.8);
@@ -108,7 +108,7 @@ TEST(AsyncGibbs, DynamicScheduleAlsoConverges) {
   const auto g = planted(86);
   SbpConfig config;
   config.variant = Variant::AsyncGibbs;
-  config.dynamic_schedule = true;
+  config.schedule = hsbp::sbp::PassSchedule::Dynamic;
   config.seed = 6;
   const auto result = run(g.graph, config);
   EXPECT_GT(metrics::nmi(g.ground_truth, result.assignment), 0.8);

@@ -139,6 +139,14 @@ hsbp::sbp::SbpConfig base_config(const Args& args) {
   config.num_threads = static_cast<int>(args.get_int("threads", 0));
   config.hybrid_fraction = args.get_double("fraction", 0.15);
   config.batch_count = static_cast<int>(args.get_int("batches", 4));
+  const std::string schedule = args.get_string("schedule", "static");
+  const auto parsed = hsbp::sbp::parse_schedule(schedule);
+  if (!parsed) {
+    throw std::invalid_argument(
+        "--schedule must be static|dynamic|guided|degree-sorted, got '" +
+        schedule + "'");
+  }
+  config.schedule = *parsed;
   return config;
 }
 
@@ -216,6 +224,7 @@ int cmd_detect(const Args& args) {
     std::printf(
         "hsbp detect <graph-file> [--algorithm sbp|asbp|hsbp|bsbp] "
         "[--weighted] [--runs K] [--seed S] [--threads T] [--out FILE]\n"
+        "            [--schedule static|dynamic|guided|degree-sorted]\n"
         "            [--checkpoint FILE] [--checkpoint-every N] "
         "[--resume FILE]\n");
     return args.has("help") ? 0 : kExitUsage;
