@@ -17,8 +17,21 @@
 ///                    stage); --shutdown sends SHUTDOWN when done
 ///   HSBP_BENCH_SMOKE=1  shrink the workload to seconds — CI smoke mode
 ///
+/// Overload scenario (--overload N, default 2 in smoke mode, else 0):
+/// the bench assumes the daemon's connection cap is clients + 1 (the
+/// storm's clients plus the control connection fill it exactly — the
+/// in-process daemon is configured that way automatically; an external
+/// one must be started with `--max-sessions <clients+1>`). While the
+/// storm holds every slot, N excess probe connections must each be
+/// shed with `ERR busy retry-after <ms>`, and one retrying client
+/// (Client::request_retry) must ride out the busy period and succeed
+/// once the storm releases its slots — busy/retry covered
+/// deterministically, no timing luck involved. The daemon's HEALTH
+/// counters (shed/timeouts/active_sessions/queue_depth) land in the
+/// JSON output.
+///
 /// Flags: --clients N (>= 4 enforced), --batches B, --seed S,
-/// --threads T, --graph NAME, --shutdown.
+/// --threads T, --graph NAME, --overload N, --shutdown.
 #include <unistd.h>
 
 #include <algorithm>
@@ -26,7 +39,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -89,21 +104,19 @@ void query_loop(const std::string& socket_path, const std::string& graph,
   }
 }
 
-/// Polls INFO until the named numeric field reaches `target` (or the
-/// deadline passes). Returns the last value observed. Reply shape:
-/// "OK vertices=... edges=... blocks=... epoch=... mdl=...".
-std::uint64_t await_info_field(hsbp::serve::Client& client,
-                               const std::string& graph,
-                               const std::string& field,
-                               std::uint64_t target,
-                               double timeout_seconds) {
+/// Polls `payload` until the named `field=` token reaches `target` (or
+/// the deadline passes). Returns the last value observed.
+std::uint64_t await_field(hsbp::serve::Client& client,
+                          const std::string& payload,
+                          const std::string& field, std::uint64_t target,
+                          double timeout_seconds) {
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(timeout_seconds));
   const std::string key = field + "=";
   std::uint64_t last = 0;
   while (Clock::now() < deadline) {
-    const auto reply = client.request("INFO " + graph);
+    const auto reply = client.request(payload);
     if (!reply.has_value()) break;
     const auto pos = reply->find(key);
     if (pos != std::string::npos) {
@@ -113,6 +126,16 @@ std::uint64_t await_info_field(hsbp::serve::Client& client,
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   return last;
+}
+
+/// Reply shape: "OK vertices=... edges=... blocks=... epoch=... mdl=...".
+std::uint64_t await_info_field(hsbp::serve::Client& client,
+                               const std::string& graph,
+                               const std::string& field,
+                               std::uint64_t target,
+                               double timeout_seconds) {
+  return await_field(client, "INFO " + graph, field, target,
+                     timeout_seconds);
 }
 
 }  // namespace
@@ -128,6 +151,8 @@ int main(int argc, char** argv) {
       std::max(4, static_cast<int>(args.get_int("clients", 4)));
   const int batches =
       static_cast<int>(args.get_int("batches", smoke ? 2 : 4));
+  const int overload =
+      static_cast<int>(args.get_int("overload", smoke ? 2 : 0));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   std::string graph_name = args.get_string("graph", "bench");
   std::string socket_path = args.get_string("socket", "");
@@ -174,6 +199,11 @@ int main(int argc, char** argv) {
     options.refit.base.num_threads =
         static_cast<int>(args.get_int("threads", 0));
     options.refit.base.variant = hsbp::sbp::Variant::Hybrid;
+    if (overload > 0) {
+      // Cap = storm clients + the control connection: the storm fills
+      // every slot, so each overload probe is shed deterministically.
+      options.max_sessions = clients + 1;
+    }
     server = std::make_unique<hsbp::serve::Server>(options);
     server->add_graph(graph_name, base_graph);
     std::fprintf(stderr, "fitting initial partition...\n");
@@ -224,6 +254,66 @@ int main(int argc, char** argv) {
                          std::ref(stats[static_cast<std::size_t>(c)]));
   }
 
+  // Overload scenario: once the storm holds every session slot, each
+  // excess connection must be shed with `ERR busy retry-after <ms>`,
+  // and a retrying client must ride the busy period out.
+  int shed_observed = 0;
+  int retry_after_hint = -1;
+  std::thread retry_prober;
+  std::optional<std::string> retry_reply;
+  int retry_attempts_used = 0;
+  if (overload > 0) {
+    const auto expected_active = static_cast<std::uint64_t>(clients) + 1;
+    const std::uint64_t active = await_field(
+        control, "HEALTH", "active_sessions", expected_active, 30.0);
+    if (active < expected_active) {
+      std::fprintf(stderr,
+                   "FAIL: %llu active sessions before the overload "
+                   "probes (wanted %llu — was the daemon started with "
+                   "--max-sessions %d?)\n",
+                   static_cast<unsigned long long>(active),
+                   static_cast<unsigned long long>(expected_active),
+                   clients + 1);
+      running.store(false);
+      for (auto& t : threads) t.join();
+      return 1;
+    }
+    for (int p = 0; p < overload; ++p) {
+      try {
+        hsbp::serve::Client probe =
+            hsbp::serve::Client::connect_unix(socket_path);
+        const auto reply = probe.request("PING", /*timeout_ms=*/10000);
+        if (reply.has_value() &&
+            hsbp::serve::is_busy(*reply, &retry_after_hint)) {
+          ++shed_observed;
+        } else {
+          std::fprintf(stderr, "overload probe %d was NOT shed: %s\n", p,
+                       reply.has_value() ? reply->c_str() : "(hangup)");
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "overload probe %d: %s\n", p, e.what());
+      }
+    }
+    // The retrying client: shed (with the server's retry-after pacing
+    // its attempts) for as long as the storm runs, then OK the moment
+    // a slot frees — joined after the query threads release theirs.
+    retry_prober = std::thread([&socket_path, &retry_reply,
+                                &retry_attempts_used] {
+      try {
+        hsbp::serve::Client prober =
+            hsbp::serve::Client::connect_unix(socket_path);
+        hsbp::serve::RetryPolicy policy;
+        policy.attempts = 4000;
+        policy.timeout_ms = 10000;
+        policy.backoff_ms = 25;
+        retry_reply =
+            prober.request_retry("PING", policy, &retry_attempts_used);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "retry prober: %s\n", e.what());
+      }
+    });
+  }
+
   // The refit storm: ingest every batch, then wait until the scheduler
   // has published them all. Queries keep hammering the whole time.
   const auto storm_start = Clock::now();
@@ -235,6 +325,7 @@ int main(int argc, char** argv) {
                    reply.has_value() ? reply->c_str() : "(hangup)");
       running.store(false);
       for (auto& t : threads) t.join();
+      if (retry_prober.joinable()) retry_prober.join();
       return 1;
     }
   }
@@ -255,7 +346,26 @@ int main(int argc, char** argv) {
 
   running.store(false);
   for (auto& t : threads) t.join();
+  if (retry_prober.joinable()) retry_prober.join();
   const double query_seconds = refit_wall_seconds;  // same window
+
+  // The daemon's own overload ledger, straight from HEALTH.
+  const auto field_of = [](const std::string& reply, const char* key) {
+    const auto pos = reply.find(key);
+    return pos == std::string::npos
+               ? std::uint64_t{0}
+               : std::strtoull(reply.c_str() + pos + std::strlen(key),
+                               nullptr, 10);
+  };
+  std::uint64_t daemon_shed = 0;
+  std::uint64_t daemon_timeouts = 0;
+  std::uint64_t daemon_queue_depth = 0;
+  if (const auto health = control.request("HEALTH");
+      health.has_value() && hsbp::serve::is_ok(*health)) {
+    daemon_shed = field_of(*health, "shed=");
+    daemon_timeouts = field_of(*health, "timeouts=");
+    daemon_queue_depth = field_of(*health, "queue_depth=");
+  }
 
   std::vector<double> all_latencies;
   std::uint64_t total_queries = 0;
@@ -283,7 +393,11 @@ int main(int argc, char** argv) {
       "\"throughput_qps\": %.1f, \"latency_p50_us\": %.1f, "
       "\"latency_p99_us\": %.1f, \"ingest_batches\": %d, "
       "\"refit_wall_seconds\": %.3f, \"initial_epoch\": %llu, "
-      "\"final_epoch\": %llu, \"refits_completed\": %s}\n",
+      "\"final_epoch\": %llu, \"refits_completed\": %s, "
+      "\"overload_probes\": %d, \"shed_observed\": %d, "
+      "\"retry_after_hint_ms\": %d, \"retry_attempts_used\": %d, "
+      "\"daemon_shed\": %llu, \"daemon_timeouts\": %llu, "
+      "\"daemon_queue_depth\": %llu}\n",
       smoke ? "true" : "false", clients,
       static_cast<unsigned long long>(total_queries),
       static_cast<unsigned long long>(total_errors), query_seconds,
@@ -294,7 +408,11 @@ int main(int argc, char** argv) {
       batches, refit_wall_seconds,
       static_cast<unsigned long long>(epoch0),
       static_cast<unsigned long long>(final_epoch),
-      refits_done ? "true" : "false");
+      refits_done ? "true" : "false", overload, shed_observed,
+      retry_after_hint, retry_attempts_used,
+      static_cast<unsigned long long>(daemon_shed),
+      static_cast<unsigned long long>(daemon_timeouts),
+      static_cast<unsigned long long>(daemon_queue_depth));
 
   if (!refits_done) {
     std::fprintf(stderr, "FAIL: refits did not complete (%llu vertices "
@@ -307,6 +425,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: %llu ERR replies during the storm\n",
                  static_cast<unsigned long long>(total_errors));
     return 1;
+  }
+  if (overload > 0) {
+    if (shed_observed != overload) {
+      std::fprintf(stderr,
+                   "FAIL: %d of %d overload probes were shed with ERR "
+                   "busy\n",
+                   shed_observed, overload);
+      return 1;
+    }
+    if (!retry_reply.has_value() || *retry_reply != "OK pong") {
+      std::fprintf(
+          stderr, "FAIL: retrying client never got through: %s\n",
+          retry_reply.has_value() ? retry_reply->c_str() : "(hangup)");
+      return 1;
+    }
+    if (daemon_shed < static_cast<std::uint64_t>(overload)) {
+      std::fprintf(stderr,
+                   "FAIL: daemon HEALTH reports shed=%llu, below the %d "
+                   "probes it refused\n",
+                   static_cast<unsigned long long>(daemon_shed),
+                   overload);
+      return 1;
+    }
   }
   return 0;
 }

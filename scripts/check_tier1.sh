@@ -53,9 +53,11 @@ cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 
-# Stage 2: rebuild the fault-labelled durability tests under
-# ASan/UBSan — checkpoint/atomic-write bugs are exactly the kind that
-# only a sanitizer catches (use-after-close, torn buffers).
+# Stage 2: rebuild the fault-labelled tests under ASan/UBSan — the
+# checkpoint/durability suite plus the ServeFault* torture tests
+# (torn/oversized frames, injected disconnects, shed/reap paths).
+# Checkpoint and frame-I/O bugs are exactly the kind that only a
+# sanitizer catches (use-after-close, torn buffers).
 if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_FAULT:-0}" != "1" ]]; then
   FAULT_DIR="${BUILD_DIR}-fault-asan"
   cmake -B "$FAULT_DIR" -S . -DHSBP_SANITIZE=address,undefined
@@ -100,6 +102,13 @@ fi
 # client threads querying while edge batches refit), and require a
 # clean SIGTERM drain (exit 0). This is the end-to-end path no unit
 # test covers: real binary, real signals, real sockets.
+#
+# The daemon runs with --max-sessions 5 (the bench's 4 clients + its
+# control connection fill the cap exactly) so the bench's overload
+# probes (--overload 2) are shed deterministically with `ERR busy
+# retry-after`, and its retrying client must ride the busy period out —
+# the load-shedding and client-retry paths covered end to end, with the
+# shed rate and healthy-client p99 in the bench's JSON.
 if [[ "${HSBP_SKIP_SERVE:-0}" != "1" ]]; then
   cmake --build "$BUILD_DIR" -j "$JOBS" --target hsbp_cli ext_serving
   SERVE_SOCK="$(mktemp -u /tmp/hsbp_smoke_XXXXXX.sock)"
@@ -108,16 +117,17 @@ if [[ "${HSBP_SKIP_SERVE:-0}" != "1" ]]; then
   "$BUILD_DIR/tools/hsbp" generate --suite synthetic --scale 0.0005 \
       --only S2 --outdir "$SERVE_GRAPH_DIR"
   "$BUILD_DIR/tools/hsbp" serve "$SERVE_GRAPH_DIR/S2.mtx" \
-      --socket "$SERVE_SOCK" --seed 3 &
+      --socket "$SERVE_SOCK" --seed 3 --max-sessions 5 &
   SERVE_PID=$!
   for _ in $(seq 1 300); do [[ -S "$SERVE_SOCK" ]] && break; sleep 0.1; done
   [[ -S "$SERVE_SOCK" ]] || { kill "$SERVE_PID" 2>/dev/null; \
       echo "serve smoke: daemon never bound its socket" >&2; exit 1; }
   HSBP_BENCH_SMOKE=1 "$BUILD_DIR/bench/ext_serving" \
-      --socket "$SERVE_SOCK" --graph S2 --clients 4 --batches 2
+      --socket "$SERVE_SOCK" --graph S2 --clients 4 --batches 2 \
+      --overload 2
   kill -TERM "$SERVE_PID"
   wait "$SERVE_PID"  # set -e: a non-zero drain fails the stage
-  echo "serve smoke: clean drain"
+  echo "serve smoke: clean drain (overload probes shed and retried)"
 fi
 
 # Stage 4 (opt-in): bench smoke — every kernel bench must still build

@@ -23,4 +23,31 @@ void FaultInjector::on_phase_boundary() {
   }
 }
 
+FaultInjector::NetFault FaultInjector::on_net_read() noexcept {
+  const int nth = net_read_count_.fetch_add(1) + 1;
+  NetFault fault;
+  if (nth == net_drop_read_at_) {
+    fault.kind = NetFault::Kind::Drop;
+  } else if (nth == net_delay_read_at_) {
+    fault.kind = NetFault::Kind::Delay;
+    fault.delay_ms = net_delay_ms_;
+  }
+  return fault;
+}
+
+FaultInjector::NetFault FaultInjector::on_net_write() noexcept {
+  const int nth = net_write_count_.fetch_add(1) + 1;
+  NetFault fault;
+  if (nth == net_drop_write_at_) {
+    fault.kind = NetFault::Kind::Drop;
+  } else if (nth == net_tear_write_at_) {
+    fault.kind = NetFault::Kind::Tear;
+    fault.bytes = net_tear_bytes_;
+  } else if (net_chunk_bytes_ > 0) {
+    fault.kind = NetFault::Kind::Chunk;
+    fault.bytes = net_chunk_bytes_;
+  }
+  return fault;
+}
+
 }  // namespace hsbp::ckpt

@@ -1,23 +1,47 @@
 /// \file client.hpp
-/// \brief Minimal blocking client for the serve protocol.
+/// \brief Blocking client for the serve protocol, with optional
+/// resilience: per-request deadlines, reconnect, and retry with
+/// exponential backoff + deterministic jitter.
 ///
 /// One connection, synchronous request/reply — exactly what the load
 /// bench's client threads, the serve tests, and `hsbp query` need. Not
 /// a connection pool; open one Client per thread.
+///
+/// The resilient path is request_retry(): it re-dials the remembered
+/// endpoint after a hangup or timeout, backs off exponentially between
+/// attempts (with jitter derived from RetryPolicy::jitter_seed, so two
+/// retrying clients do not stampede in lockstep and tests replay the
+/// exact schedule), and honors the server's `ERR busy retry-after <ms>`
+/// load-shedding hint by sleeping the suggested amount instead of its
+/// own backoff. Note the at-least-once caveat: a retried INGEST whose
+/// ack was lost may be applied twice; retries are unconditionally safe
+/// only for the read verbs.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 
 namespace hsbp::serve {
 
+/// Knobs of the resilient request path. The defaults mirror the
+/// daemon's: a client that retries 3 times with 50 ms base backoff
+/// rides out one refit-length stall or a shed connection.
+struct RetryPolicy {
+  int attempts = 1;          ///< total tries (1 = no retry)
+  int timeout_ms = -1;       ///< per-attempt request deadline (-1 = none)
+  int backoff_ms = 50;       ///< first backoff; doubles per retry
+  int backoff_max_ms = 2000;  ///< exponential ceiling
+  std::uint64_t jitter_seed = 1;  ///< deterministic jitter stream
+};
+
 class Client {
  public:
   Client() = default;
   ~Client() { close(); }
 
-  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -30,14 +54,40 @@ class Client {
 
   bool connected() const noexcept { return fd_ >= 0; }
 
+  /// Re-dials the endpoint this client was created with. Returns false
+  /// (instead of throwing) when the daemon is unreachable — the retry
+  /// loop treats that as one more failed attempt.
+  bool reconnect() noexcept;
+
   /// Sends one request payload and reads one reply. nullopt when the
-  /// server hung up (after SHUTDOWN, or a frame violation).
-  std::optional<std::string> request(std::string_view payload);
+  /// server hung up (after SHUTDOWN, or a frame violation), or when
+  /// `timeout_ms` >= 0 elapsed first (the connection is closed then —
+  /// a late reply must not be read as the answer to the NEXT request).
+  std::optional<std::string> request(std::string_view payload,
+                                     int timeout_ms = -1);
+
+  /// The resilient request: up to `policy.attempts` tries, re-dialing
+  /// the endpoint between them, backing off exponentially with jitter
+  /// — or exactly the server's advertised `retry-after` when the reply
+  /// was an `ERR busy` shed. Returns the first non-busy reply, the
+  /// last busy reply when every attempt was shed, or nullopt when
+  /// every attempt failed outright. `attempts_used` (optional) reports
+  /// how many tries ran.
+  std::optional<std::string> request_retry(std::string_view payload,
+                                           const RetryPolicy& policy,
+                                           int* attempts_used = nullptr);
 
   void close() noexcept;
 
  private:
   int fd_ = -1;
+  std::string unix_path_;  ///< remembered endpoint (Unix flavor)
+  int tcp_port_ = -1;      ///< remembered endpoint (TCP flavor)
 };
+
+/// True when `reply` is a load-shedding `ERR busy ...` refusal; then
+/// `retry_after_ms` receives the server's suggested backoff (when
+/// present and parseable, else it is left untouched).
+bool is_busy(std::string_view reply, int* retry_after_ms = nullptr) noexcept;
 
 }  // namespace hsbp::serve

@@ -25,6 +25,7 @@
 ///   EPOCH <graph>                 snapshot epoch (bumps per refit)
 ///   INGEST <graph> <k> u1 v1 ...  append k edges, schedule a refit
 ///   STATS                         server-wide counters
+///   HEALTH                        overload counters (see below)
 ///   SHUTDOWN                      graceful drain (same path as SIGTERM)
 ///
 /// Replies start with `OK` (followed by verb-specific tokens) or `ERR`
@@ -32,18 +33,56 @@
 /// verb, wrong arity, non-numeric argument, unknown graph, out-of-range
 /// vertex — is always an `ERR` reply on the same connection, never a
 /// dropped connection or a daemon exit. Only an unreadable frame
-/// (oversized length prefix or a half-closed peer) ends the session.
+/// (oversized length prefix or a half-closed peer) or a blown deadline
+/// (idle session, mid-frame stall) ends the session.
+///
+/// Load-shedding replies (overload — see ServeOptions in server.hpp):
+///
+///   ERR busy retry-after <ms> ...   the daemon refused this work on
+///                                   purpose: the connection cap was
+///                                   reached (sent once, then the
+///                                   connection closes) or the graph's
+///                                   ingest queue is full (the session
+///                                   stays open; only the INGEST was
+///                                   refused). <ms> is the server's
+///                                   suggested backoff; Client's retry
+///                                   helper honors it.
+///
+/// Counter reply tokens (k=v pairs, all monotonic since daemon start
+/// unless noted):
+///
+///   STATS  → OK queries=N errors=N ingests=N refits=N sessions=N
+///               shed=N timeouts=N active_sessions=N queue_depth=N
+///   HEALTH → OK active_sessions=N queue_depth=N shed=N timeouts=N
+///
+///   queries   requests answered (OK and ERR alike)
+///   errors    ERR replies among them (includes busy sheds)
+///   ingests   INGEST batches *accepted* (refused ones count in shed)
+///   refits    refit epochs published
+///   sessions  connections accepted (shed ones included)
+///   shed      work refused with `ERR busy`: connections over the cap
+///             plus INGESTs against a full queue
+///   timeouts  sessions closed for blowing a deadline (idle or
+///             mid-frame)
+///   active_sessions  currently live session threads (gauge, not
+///             monotonic — returns to 0 when clients leave)
+///   queue_depth      pending ingest batches across all graphs (gauge)
 ///
 /// This header is deliberately socket-free: parse/format round-trip in
 /// unit tests without a daemon, and the fd-based frame I/O helpers are
 /// the only POSIX-touching pieces.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace hsbp::ckpt {
+class FaultInjector;
+}
 
 namespace hsbp::serve {
 
@@ -62,6 +101,7 @@ enum class Verb {
   Epoch,
   Ingest,
   Stats,
+  Health,
   Shutdown,
 };
 
@@ -95,14 +135,54 @@ bool is_ok(std::string_view reply) noexcept;
 
 // ---------------------------------------------------------- frame I/O
 
+/// Outcome of one deadline-aware frame operation. Everything except Ok
+/// ends the session; the caller decides what to count (the server
+/// counts Timeout separately — it is the daemon shedding a stalled
+/// peer, not the peer leaving).
+enum class IoStatus {
+  Ok,
+  Eof,        ///< clean close before the first byte of a frame
+  Torn,       ///< peer vanished mid-frame (prefix or payload)
+  Oversized,  ///< length prefix above kMaxFrameBytes — protocol abuse
+  Timeout,    ///< idle or per-frame deadline blown
+  Cancelled,  ///< the cancel flag was raised (daemon drain)
+  Error,      ///< read/write error (ECONNRESET, EPIPE, injected fault)
+};
+
+/// Per-frame read deadlines, both in milliseconds, -1 = unbounded:
+/// `idle_ms` bounds the wait for a frame's FIRST byte (how long a
+/// silent session may sit), `frame_ms` bounds the rest of the frame
+/// once a byte arrived (how long a mid-frame stall may last).
+struct FrameDeadline {
+  int idle_ms = -1;
+  int frame_ms = -1;
+};
+
+/// Reads one frame from `fd` into `payload` under deadlines, polling in
+/// short slices so `cancel` (when given) aborts within ~50 ms. `fault`
+/// (when given) is consulted once per call — the network fault seam the
+/// serve tests inject through (ckpt::FaultInjector::on_net_read).
+IoStatus read_frame(int fd, std::string& payload,
+                    const FrameDeadline& deadline,
+                    const std::atomic<bool>* cancel = nullptr,
+                    ckpt::FaultInjector* fault = nullptr) noexcept;
+
 /// Writes one frame (length prefix + payload) to `fd`, retrying short
-/// writes. Returns false on EOF/error (peer gone).
+/// writes, with `deadline_ms` bounding the whole frame (-1 =
+/// unbounded). Timeout semantics match read_frame: a peer that stops
+/// draining its socket cannot park the writer. `fault` injects at the
+/// same seam (ckpt::FaultInjector::on_net_write).
+IoStatus write_frame(int fd, std::string_view payload, int deadline_ms,
+                     const std::atomic<bool>* cancel = nullptr,
+                     ckpt::FaultInjector* fault = nullptr) noexcept;
+
+/// Unbounded write (legacy shape). Returns false on EOF/error.
 bool write_frame(int fd, std::string_view payload) noexcept;
 
-/// Reads one frame from `fd` into `payload`. Returns false on a clean
-/// EOF before any byte, a torn frame, or an oversized length prefix.
-/// Blocks until a full frame arrives (callers poll() first when they
-/// need cancellation).
+/// Unbounded read (legacy shape). Returns false on a clean EOF before
+/// any byte, a torn frame, or an oversized length prefix. Blocks until
+/// a full frame arrives (callers poll() first when they need
+/// cancellation).
 bool read_frame(int fd, std::string& payload) noexcept;
 
 }  // namespace hsbp::serve

@@ -52,4 +52,11 @@ std::vector<GraphStore*> Registry::stores() noexcept {
   return out;
 }
 
+std::vector<const GraphStore*> Registry::stores() const noexcept {
+  std::vector<const GraphStore*> out;
+  out.reserve(stores_.size());
+  for (const auto& store : stores_) out.push_back(store.get());
+  return out;
+}
+
 }  // namespace hsbp::serve

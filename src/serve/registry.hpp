@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,19 @@ class GraphStore {
   /// of batches now pending.
   std::size_t enqueue(std::vector<graph::Edge> batch) {
     std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(batch));
+    return pending_.size();
+  }
+
+  /// Bounded enqueue: refuses the batch when `max_pending` batches are
+  /// already queued (so 0 refuses everything — a read-only mode).
+  /// Returns the pending count after the append, or nullopt when the
+  /// batch was refused. The check-and-append is one critical section —
+  /// two racing INGESTs cannot both slip past the bound.
+  std::optional<std::size_t> try_enqueue(std::vector<graph::Edge> batch,
+                                         std::size_t max_pending) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.size() >= max_pending) return std::nullopt;
     pending_.push_back(std::move(batch));
     return pending_.size();
   }
@@ -135,6 +149,7 @@ class Registry {
   std::vector<std::string> names() const;
 
   std::vector<GraphStore*> stores() noexcept;
+  std::vector<const GraphStore*> stores() const noexcept;
 
  private:
   std::vector<std::unique_ptr<GraphStore>> stores_;

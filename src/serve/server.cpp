@@ -189,6 +189,10 @@ void Server::stop() {
     }
     session_threads_.clear();
   }
+  // Belt-and-braces reap: with the vector cleared above this is a
+  // no-op, but keeping it here pins the contract that stop() leaves no
+  // session thread behind even if the join loop ever changes shape.
+  reap_finished_sessions();
   // The scheduler drains pending batches before exiting (publishing
   // and persisting each), so acknowledged INGESTs survive the drain.
   scheduler_->stop_and_join();
@@ -222,7 +226,20 @@ ServerStats Server::stats() const {
   out.ingests = ingests_.load();
   out.refits = scheduler_->refits_completed();
   out.sessions = sessions_.load();
+  out.shed = shed_.load();
+  out.timeouts = timeouts_.load();
+  out.active_sessions = active_sessions_.load();
+  out.queue_depth = queue_depth();
   return out;
+}
+
+std::uint64_t Server::queue_depth() const {
+  std::uint64_t depth = 0;
+  const Registry& registry = registry_;
+  for (const GraphStore* store : registry.stores()) {
+    depth += store->pending_batches();
+  }
+  return depth;
 }
 
 // ------------------------------------------------------------ threads
@@ -239,15 +256,41 @@ void Server::reap_finished_sessions() {
   }
 }
 
+/// Refuses one over-cap connection: one `ERR busy retry-after <ms>`
+/// frame (under a short write deadline — a shed peer gets no chance to
+/// park this thread either), then close.
+void Server::shed_connection(int fd) {
+  ++shed_;
+  const std::string reply = err_reply(
+      "busy retry-after " + std::to_string(options_.retry_after_ms) +
+      " sessions at cap");
+  const int deadline = options_.frame_timeout_ms >= 0 &&
+                               options_.frame_timeout_ms < 250
+                           ? options_.frame_timeout_ms
+                           : 250;
+  write_frame(fd, reply, deadline, &stop_, options_.net_fault);
+  ::close(fd);
+}
+
 void Server::accept_loop() {
   while (!stop_.load() && !ckpt::shutdown_requested()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMs);
+    // Reap on EVERY tick, not only on new accepts: idle and
+    // deadline-cut sessions must be collected even when no client ever
+    // connects again (the thread-leak window ISSUE 8 closes).
+    reap_finished_sessions();
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     ++sessions_;
-    reap_finished_sessions();
+    if (options_.max_sessions > 0 &&
+        active_sessions_.load() >=
+            static_cast<std::uint64_t>(options_.max_sessions)) {
+      shed_connection(fd);
+      continue;
+    }
+    ++active_sessions_;
     auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(sessions_mutex_);
     session_threads_.push_back(Session{
@@ -261,20 +304,40 @@ void Server::accept_loop() {
 
 void Server::session_loop(int fd) {
   std::string payload;
+  const FrameDeadline deadline{options_.idle_timeout_ms,
+                               options_.frame_timeout_ms};
   while (!stop_.load() && !ckpt::shutdown_requested()) {
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollMs);
-    if (ready < 0) break;
-    if (ready == 0) continue;  // timeout: re-check the stop flag
-    if (!read_frame(fd, payload)) break;  // EOF, torn, or oversized
+    const IoStatus read_status = read_frame(fd, payload, deadline, &stop_,
+                                            options_.net_fault);
+    if (read_status == IoStatus::Timeout) {
+      // A silent or mid-frame-stalled peer: cut it loose. Best-effort
+      // courtesy reply — the peer may be long gone.
+      ++timeouts_;
+      write_frame(fd, err_reply("timeout"), /*deadline_ms=*/100, &stop_,
+                  options_.net_fault);
+      break;
+    }
+    if (read_status != IoStatus::Ok) break;  // EOF/torn/oversized/drain
     const std::string reply = handle(payload);
     ++queries_;
     if (!is_ok(reply)) ++errors_;
-    if (!write_frame(fd, reply)) break;
-    // SHUTDOWN acknowledges first, then stops (drain includes us).
-    if (payload.substr(0, 8) == "SHUTDOWN" && is_ok(reply)) break;
+    const IoStatus write_status = write_frame(
+        fd, reply, options_.frame_timeout_ms, &stop_, options_.net_fault);
+    if (write_status == IoStatus::Timeout) {
+      ++timeouts_;  // peer stopped draining its socket mid-reply
+      break;
+    }
+    if (write_status != IoStatus::Ok) break;
+    // SHUTDOWN acknowledges first, then stops (drain includes us). The
+    // stop flag doubles as every frame write's cancel flag, so raising
+    // it before the ack went out would cancel the ack itself.
+    if (payload.substr(0, 8) == "SHUTDOWN" && is_ok(reply)) {
+      request_stop();
+      break;
+    }
   }
   ::close(fd);
+  --active_sessions_;
 }
 
 // ------------------------------------------------------------ requests
@@ -303,10 +366,24 @@ std::string Server::handle(const std::string& payload) {
                       " errors=" + std::to_string(s.errors) +
                       " ingests=" + std::to_string(s.ingests) +
                       " refits=" + std::to_string(s.refits) +
-                      " sessions=" + std::to_string(s.sessions));
+                      " sessions=" + std::to_string(s.sessions) +
+                      " shed=" + std::to_string(s.shed) +
+                      " timeouts=" + std::to_string(s.timeouts) +
+                      " active_sessions=" +
+                      std::to_string(s.active_sessions) +
+                      " queue_depth=" + std::to_string(s.queue_depth));
+    }
+    case Verb::Health: {
+      // The overload gauges alone — what a load balancer polls.
+      return ok_reply(
+          "active_sessions=" + std::to_string(active_sessions_.load()) +
+          " queue_depth=" + std::to_string(queue_depth()) +
+          " shed=" + std::to_string(shed_.load()) +
+          " timeouts=" + std::to_string(timeouts_.load()));
     }
     case Verb::Shutdown:
-      request_stop();
+      // The session loop raises the stop flag AFTER this ack is on the
+      // wire (the flag cancels in-flight frame writes, ack included).
       return ok_reply("draining");
     default:
       break;
@@ -318,15 +395,25 @@ std::string Server::handle(const std::string& payload) {
   }
 
   if (request.verb == Verb::Ingest) {
-    const std::size_t pending = store->enqueue(
+    const auto pending = store->try_enqueue(
         std::vector<graph::Edge>(request.edges.begin(),
-                                 request.edges.end()));
+                                 request.edges.end()),
+        options_.max_pending_batches);
+    if (!pending.has_value()) {
+      // Backpressure, not failure: the refit queue is at its bound, so
+      // the batch is refused while the session (and every acknowledged
+      // batch before it) stays intact.
+      ++shed_;
+      return err_reply(
+          "busy retry-after " + std::to_string(options_.retry_after_ms) +
+          " ingest queue full for '" + request.graph + "'");
+    }
     ++ingests_;
     scheduler_->notify();
     const auto snapshot = store->acquire();
     return ok_reply("queued=" + std::to_string(request.edges.size()) +
                     " epoch=" + std::to_string(snapshot->epoch) +
-                    " pending=" + std::to_string(pending));
+                    " pending=" + std::to_string(*pending));
   }
 
   // Pure queries: everything below reads one acquired snapshot and

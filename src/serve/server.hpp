@@ -18,6 +18,18 @@
 /// finishes and publishes its in-flight fit), write the final
 /// checkpoints, return. The CLI then exits 0.
 ///
+/// Overload model (DESIGN §14): the daemon assumes clients are hostile
+/// until proven otherwise and fails *closed* per session, never open.
+/// Every resource a client can consume is bounded — session threads by
+/// max_sessions (excess accepts are shed with `ERR busy retry-after
+/// <ms>` before close), frame waits by idle_timeout_ms /
+/// frame_timeout_ms (a silent or mid-frame-stalled peer is cut and
+/// counted in `timeouts`), and the per-graph refit queue by
+/// max_pending_batches (a flooding INGEST gets `ERR busy`, its session
+/// stays up). Finished and deadline-cut sessions are reaped on every
+/// accept-loop tick — not just on new accepts — so `active_sessions`
+/// returns to 0 even when no one ever connects again.
+///
 /// start() binds a Unix socket (options.socket_path) or a loopback TCP
 /// port (options.tcp_port, 0 = ephemeral); a failure to bind throws
 /// BindError, which the CLI maps to EX_UNAVAILABLE (69).
@@ -52,6 +64,28 @@ struct ServeOptions {
   /// Load `<checkpoint_dir>/<name>.serve.ckpt` instead of cold-fitting
   /// when the file exists (graphs without one are still cold-fitted).
   bool resume = false;
+
+  // ---- overload limits (every one of these sheds, none of them kill)
+
+  /// Concurrent session cap. An accept past the cap is answered with
+  /// one `ERR busy retry-after <retry_after_ms>` frame and closed.
+  int max_sessions = 256;
+  /// How long a session may sit without starting a frame (ms, -1 =
+  /// forever). Blown → session closed, counted in `timeouts`.
+  int idle_timeout_ms = 30000;
+  /// Budget for the rest of a frame once its first byte arrived, and
+  /// for writing one reply (ms, -1 = forever). A mid-frame staller or
+  /// a peer that stops draining its socket is cut, not waited on.
+  int frame_timeout_ms = 5000;
+  /// Backoff hint carried in every `ERR busy retry-after <ms>` reply.
+  int retry_after_ms = 100;
+  /// Per-graph bound on queued INGEST batches. At the bound the batch
+  /// is refused with `ERR busy` (the session survives). 0 refuses all
+  /// ingest — a read-only / maintenance mode.
+  std::size_t max_pending_batches = 64;
+  /// Network fault seam (tests): threaded into every session's frame
+  /// I/O as ckpt::FaultInjector::on_net_read/on_net_write.
+  ckpt::FaultInjector* net_fault = nullptr;
 };
 
 struct ServerStats {
@@ -60,6 +94,10 @@ struct ServerStats {
   std::uint64_t ingests = 0;   ///< INGEST batches accepted
   std::uint64_t refits = 0;    ///< refit epochs published
   std::uint64_t sessions = 0;  ///< connections accepted
+  std::uint64_t shed = 0;      ///< work refused with `ERR busy`
+  std::uint64_t timeouts = 0;  ///< sessions cut for blowing a deadline
+  std::uint64_t active_sessions = 0;  ///< live session threads (gauge)
+  std::uint64_t queue_depth = 0;  ///< pending ingest batches (gauge)
 };
 
 class Server {
@@ -107,8 +145,10 @@ class Server {
   void start_impl();
   void accept_loop();
   void session_loop(int fd);
+  void shed_connection(int fd);
   std::string handle(const std::string& payload);
   void reap_finished_sessions();
+  std::uint64_t queue_depth() const;
 
   const ServeOptions options_;
   Registry registry_;
@@ -122,6 +162,9 @@ class Server {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> ingests_{0};
   std::atomic<std::uint64_t> sessions_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> active_sessions_{0};
 
   struct Session {
     std::thread thread;

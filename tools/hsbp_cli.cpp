@@ -21,7 +21,11 @@
 ///   hsbp serve     <graph-file> [more graphs] (--socket PATH | --port N)
 ///                  [--algorithm ...] [--weighted] [--seed S] [--threads T]
 ///                  [--checkpoint DIR] [--resume] [--refine K]
-///   hsbp query     (--socket PATH | --port N) <verb> [args...]
+///                  [--max-sessions N] [--idle-timeout-ms MS]
+///                  [--frame-timeout-ms MS] [--max-pending N]
+///                  [--retry-after-ms MS]
+///   hsbp query     (--socket PATH | --port N) [--timeout MS]
+///                  [--retries N] [--retry-backoff-ms MS] <verb> [args...]
 ///   hsbp version
 ///
 /// Checkpointing (`detect`, `sample`): `--checkpoint FILE` snapshots
@@ -50,6 +54,7 @@
 /// Each subcommand is a thin shell over the same public API the
 /// examples demonstrate; `hsbp <cmd> --help` lists the flags.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -58,6 +63,7 @@
 #include <string>
 
 #include "ckpt/config.hpp"
+#include "ckpt/fault_injector.hpp"
 #include "ckpt/shutdown.hpp"
 #include "dist/dist_sbp.hpp"
 #include "eval/experiment.hpp"
@@ -532,13 +538,22 @@ int cmd_serve(const Args& args) {
         "           [--algorithm sbp|asbp|hsbp|bsbp] [--weighted] "
         "[--seed S] [--threads T]\n"
         "           [--checkpoint DIR] [--resume] [--refine K]\n"
+        "           [--max-sessions N] [--idle-timeout-ms MS] "
+        "[--frame-timeout-ms MS]\n"
+        "           [--max-pending N] [--retry-after-ms MS]\n"
         "Serves partitions over a Unix socket or loopback TCP port "
         "(--port 0 picks an\n"
         "ephemeral port, printed on startup). Each graph is served under "
         "its file stem.\n"
         "SIGINT/SIGTERM drain gracefully: in-flight queries finish, the "
         "running refit\n"
-        "publishes, final checkpoints are written, exit 0.\n");
+        "publishes, final checkpoints are written, exit 0.\n"
+        "Overload limits (see README): connections past --max-sessions "
+        "and INGESTs\n"
+        "past --max-pending are shed with 'ERR busy retry-after <ms>'; "
+        "sessions idle\n"
+        "past --idle-timeout-ms or stalled mid-frame past "
+        "--frame-timeout-ms are cut.\n");
     return args.has("help") ? 0 : kExitUsage;
   }
   hsbp::serve::ServeOptions options;
@@ -560,6 +575,69 @@ int cmd_serve(const Args& args) {
   }
   if (!options.refit.checkpoint_dir.empty()) {
     std::filesystem::create_directories(options.refit.checkpoint_dir);
+  }
+  options.max_sessions =
+      static_cast<int>(args.get_int("max-sessions", options.max_sessions));
+  options.idle_timeout_ms = static_cast<int>(
+      args.get_int("idle-timeout-ms", options.idle_timeout_ms));
+  options.frame_timeout_ms = static_cast<int>(
+      args.get_int("frame-timeout-ms", options.frame_timeout_ms));
+  options.retry_after_ms = static_cast<int>(
+      args.get_int("retry-after-ms", options.retry_after_ms));
+  const auto max_pending = args.get_int(
+      "max-pending", static_cast<std::int64_t>(options.max_pending_batches));
+  if (max_pending < 0) {
+    throw std::invalid_argument("--max-pending must be >= 0");
+  }
+  options.max_pending_batches = static_cast<std::size_t>(max_pending);
+
+  // Testing-only network fault seam: HSBP_SERVE_NET_FAULT arms the
+  // frame-I/O injector from the environment so the sh-level tests can
+  // drive transient disconnects through the real binary. Directives
+  // (comma-separated): drop_read=N, drop_write=N, tear_write=N:BYTES,
+  // delay_read=N:MS, chunk_writes=BYTES. Counters are process-wide and
+  // 1-based, like the checkpoint injector's.
+  static hsbp::ckpt::FaultInjector net_fault;
+  if (const char* spec = std::getenv("HSBP_SERVE_NET_FAULT");
+      spec != nullptr && *spec != '\0') {
+    std::string directives(spec);
+    std::size_t start = 0;
+    while (start <= directives.size()) {
+      std::size_t end = directives.find(',', start);
+      if (end == std::string::npos) end = directives.size();
+      const std::string directive = directives.substr(start, end - start);
+      const auto eq = directive.find('=');
+      if (eq != std::string::npos) {
+        const std::string key = directive.substr(0, eq);
+        const std::string value = directive.substr(eq + 1);
+        const auto colon = value.find(':');
+        const long first = std::strtol(value.c_str(), nullptr, 10);
+        const long second =
+            colon == std::string::npos
+                ? 0
+                : std::strtol(value.c_str() + colon + 1, nullptr, 10);
+        if (key == "drop_read") {
+          net_fault.net_drop_read(static_cast<int>(first));
+        } else if (key == "drop_write") {
+          net_fault.net_drop_write(static_cast<int>(first));
+        } else if (key == "tear_write") {
+          net_fault.net_tear_write(static_cast<int>(first),
+                                   static_cast<std::size_t>(second));
+        } else if (key == "delay_read") {
+          net_fault.net_delay_read(static_cast<int>(first),
+                                   static_cast<int>(second));
+        } else if (key == "chunk_writes") {
+          net_fault.net_chunk_writes(static_cast<std::size_t>(first));
+        } else {
+          throw std::invalid_argument("HSBP_SERVE_NET_FAULT: unknown '" +
+                                      key + "'");
+        }
+      }
+      start = end + 1;
+    }
+    options.net_fault = &net_fault;
+    std::fprintf(stderr, "hsbpd: NETWORK FAULT INJECTION ARMED (%s)\n",
+                 spec);
   }
 
   hsbp::serve::Server server(options);
@@ -597,13 +675,23 @@ int cmd_serve(const Args& args) {
 int cmd_query(const Args& args) {
   if (args.has("help") || args.positionals().empty()) {
     std::printf(
-        "hsbp query (--socket PATH | --port N) <verb> [args...]\n"
+        "hsbp query (--socket PATH | --port N) [--timeout MS] "
+        "[--retries N]\n"
+        "           [--retry-backoff-ms MS] <verb> [args...]\n"
         "One request against a running daemon; the reply goes to stdout.\n"
         "Exit 0 on an OK reply, %d on an ERR reply.\n"
+        "--timeout bounds each attempt; --retries N re-dials and resends "
+        "up to N extra\n"
+        "times on a hangup, timeout, or 'ERR busy' shed (exponential "
+        "backoff + jitter,\n"
+        "honoring the server's retry-after hint). Retried INGESTs are "
+        "at-least-once.\n"
         "examples:\n"
         "  hsbp query --socket /tmp/hsbpd.sock LIST\n"
         "  hsbp query --socket /tmp/hsbpd.sock MEMBER mygraph 17\n"
-        "  hsbp query --port 7471 INGEST mygraph 2 0 5 5 9\n",
+        "  hsbp query --port 7471 INGEST mygraph 2 0 5 5 9\n"
+        "  hsbp query --socket /tmp/hsbpd.sock --timeout 2000 --retries 3 "
+        "HEALTH\n",
         kExitData);
     return args.has("help") ? 0 : kExitUsage;
   }
@@ -613,6 +701,13 @@ int cmd_query(const Args& args) {
     throw std::invalid_argument(
         "query needs exactly one of --socket PATH or --port N");
   }
+  const int retries = static_cast<int>(args.get_int("retries", 0));
+  if (retries < 0) throw std::invalid_argument("--retries must be >= 0");
+  hsbp::serve::RetryPolicy policy;
+  policy.attempts = retries + 1;
+  policy.timeout_ms = static_cast<int>(args.get_int("timeout", -1));
+  policy.backoff_ms =
+      static_cast<int>(args.get_int("retry-backoff-ms", 50));
   std::string payload;
   for (const std::string& word : args.positionals()) {
     if (!payload.empty()) payload += ' ';
@@ -621,9 +716,13 @@ int cmd_query(const Args& args) {
   auto client = socket_path.empty()
                     ? hsbp::serve::Client::connect_tcp(port)
                     : hsbp::serve::Client::connect_unix(socket_path);
-  const auto reply = client.request(payload);
+  const auto reply = client.request_retry(payload, policy);
   if (!reply.has_value()) {
-    throw hsbp::util::IoError("daemon hung up before replying");
+    throw hsbp::util::IoError(
+        retries > 0 ? "daemon hung up before replying (all " +
+                          std::to_string(policy.attempts) +
+                          " attempts failed)"
+                    : "daemon hung up before replying");
   }
   std::printf("%s\n", reply->c_str());
   return hsbp::serve::is_ok(*reply) ? 0 : kExitData;
