@@ -32,6 +32,11 @@
 #                     the host supports (the env override is the same
 #                     knob users have, so this also audits the
 #                     dispatch plumbing itself)
+#   HSBP_SKIP_OOC     set to 1 to skip the out-of-core smoke stage
+#                     (generate → convert → mmap fit in separate
+#                     processes with a peak-RSS budget assertion, plus
+#                     an ASan pass over the convert/fit pipeline and
+#                     the ooc-labelled tests)
 #   HSBP_BENCH_SMOKE  set to 1 to also run the bm_kernels suite briefly
 #                     (--benchmark_min_time=0.05) after the tests, plus
 #                     a fig7 strong-scaling smoke at 1 and 2 threads —
@@ -128,6 +133,51 @@ if [[ "${HSBP_SKIP_SERVE:-0}" != "1" ]]; then
   kill -TERM "$SERVE_PID"
   wait "$SERVE_PID"  # set -e: a non-zero drain fails the stage
   echo "serve smoke: clean drain (overload probes shed and retried)"
+fi
+
+# Stage 3c: out-of-core smoke — generate → convert → mmap fit, each in
+# its own process (ru_maxrss is a per-process high-water mark, so the
+# fit's number is clean of the generator's footprint). Asserts the
+# budget actually split the graph (pieces >= 2) and that peak RSS
+# stayed within budget × 4 plus a fixed process allowance (binary +
+# OpenMP runtime + O(V) bookkeeping — the budget bounds the graph
+# working set, not the process baseline). Then repeats convert + fit
+# and the ooc-labelled tests under the stage-2 ASan build: mmap'd
+# reads, the chunked model build, and the stitch paths are exactly
+# where an out-of-bounds read would hide.
+if [[ "${HSBP_SKIP_OOC:-0}" != "1" ]]; then
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target hsbp_cli
+  OOC_SMOKE_DIR="$(mktemp -d /tmp/hsbp_ooc_smoke_XXXXXX)"
+  OOC_BUDGET_MB=1
+  "$BUILD_DIR/tools/hsbp" generate --suite synthetic --scale 0.03 \
+      --only S13 --outdir "$OOC_SMOKE_DIR"
+  "$BUILD_DIR/tools/hsbp" convert "$OOC_SMOKE_DIR/S13.mtx" \
+      "$OOC_SMOKE_DIR/S13.csr"
+  "$BUILD_DIR/tools/hsbp" fit "$OOC_SMOKE_DIR/S13.csr" \
+      --memory-budget-mb "$OOC_BUDGET_MB" --seed 3 --json \
+      > "$OOC_SMOKE_DIR/fit.json"
+  python3 - "$OOC_SMOKE_DIR/fit.json" "$OOC_BUDGET_MB" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+budget_mb = int(sys.argv[2])
+assert doc["pieces"] >= 2, f"budget did not split the graph: {doc}"
+limit_kb = budget_mb * 1024 * 4 + 32768
+assert doc["peak_rss_kb"] <= limit_kb, \
+    f"peak RSS {doc['peak_rss_kb']} KiB over limit {limit_kb} KiB: {doc}"
+print(f"ooc smoke: {doc['pieces']} pieces, {doc['blocks']} blocks, "
+      f"peak RSS {doc['peak_rss_kb']} KiB <= {limit_kb} KiB")
+EOF
+  if [[ -z "${HSBP_SANITIZE:-}" && "${HSBP_SKIP_FAULT:-0}" != "1" ]]; then
+    FAULT_DIR="${BUILD_DIR}-fault-asan"
+    cmake --build "$FAULT_DIR" -j "$JOBS" --target hsbp_cli
+    "$FAULT_DIR/tools/hsbp" convert "$OOC_SMOKE_DIR/S13.mtx" \
+        "$OOC_SMOKE_DIR/S13_asan.csr"
+    "$FAULT_DIR/tools/hsbp" fit "$OOC_SMOKE_DIR/S13_asan.csr" \
+        --memory-budget-mb "$OOC_BUDGET_MB" --seed 3 --json > /dev/null
+    (cd "$FAULT_DIR" && ctest --output-on-failure -j "$JOBS" -L ooc)
+    echo "ooc smoke: ASan convert/fit and ooc-labelled tests clean"
+  fi
+  rm -rf "$OOC_SMOKE_DIR"
 fi
 
 # Stage 4 (opt-in): bench smoke — every kernel bench must still build

@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -11,10 +12,10 @@
 
 namespace hsbp::blockmodel {
 
-using graph::Graph;
+using graph::GraphView;
 using graph::Vertex;
 
-Blockmodel Blockmodel::from_assignment(const Graph& graph,
+Blockmodel Blockmodel::from_assignment(const GraphView& graph,
                                        std::span<const std::int32_t> assignment,
                                        BlockId num_blocks) {
   if (assignment.size() != static_cast<std::size_t>(graph.num_vertices())) {
@@ -38,7 +39,32 @@ Blockmodel Blockmodel::from_assignment(const Graph& graph,
   return b;
 }
 
-Blockmodel Blockmodel::identity(const Graph& graph) {
+Blockmodel Blockmodel::from_assignment_chunked(
+    const GraphView& graph, std::span<const std::int32_t> assignment,
+    BlockId num_blocks, Vertex chunk_vertices,
+    const std::function<void()>& release) {
+  if (assignment.size() != static_cast<std::size_t>(graph.num_vertices())) {
+    throw std::invalid_argument("Blockmodel: assignment size " +
+                                std::to_string(assignment.size()) +
+                                " != vertex count " +
+                                std::to_string(graph.num_vertices()));
+  }
+  for (const std::int32_t label : assignment) {
+    if (label < 0 || label >= num_blocks) {
+      throw std::invalid_argument("Blockmodel: label " +
+                                  std::to_string(label) +
+                                  " outside [0, " +
+                                  std::to_string(num_blocks) + ")");
+    }
+  }
+  Blockmodel b;
+  b.num_blocks_ = num_blocks;
+  b.assignment_.assign(assignment.begin(), assignment.end());
+  b.build_from(graph, chunk_vertices, &release);
+  return b;
+}
+
+Blockmodel Blockmodel::identity(const GraphView& graph) {
   std::vector<std::int32_t> assignment(
       static_cast<std::size_t>(graph.num_vertices()));
   for (std::size_t v = 0; v < assignment.size(); ++v) {
@@ -47,7 +73,12 @@ Blockmodel Blockmodel::identity(const Graph& graph) {
   return from_assignment(graph, assignment, graph.num_vertices());
 }
 
-void Blockmodel::build_from(const Graph& graph) {
+void Blockmodel::build_from(const GraphView& graph) {
+  build_from(graph, 0, nullptr);
+}
+
+void Blockmodel::build_from(const GraphView& graph, Vertex chunk_vertices,
+                            const std::function<void()>* release) {
   const auto blocks = static_cast<std::size_t>(num_blocks_);
   m_ = DictTransposeMatrix(num_blocks_);
   d_out_.assign(blocks, 0);
@@ -93,11 +124,15 @@ void Blockmodel::build_from(const Graph& graph) {
   };
   std::vector<ShardTotals> totals(shards);
 
-  util::omp_region([&] {
+  // Orphaned worksharing bodies: each runs inside an enclosing
+  // util::omp_region. Splitting them out lets the chunked path below run
+  // phase A over bounded vertex ranges (releasing mapped pages between
+  // ranges) while the default path keeps the original single region.
+  const auto phase_a = [&](Vertex begin, Vertex end) {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     auto& local = locals[tid];
 #pragma omp for schedule(static) nowait
-    for (Vertex v = 0; v < v_count; ++v) {
+    for (Vertex v = begin; v < end; ++v) {
       const auto src_block = static_cast<std::uint64_t>(
           static_cast<std::uint32_t>(assignment_[static_cast<std::size_t>(v)]));
       auto& bucket = local[static_cast<std::size_t>(src_block) % shards];
@@ -108,8 +143,9 @@ void Blockmodel::build_from(const Graph& graph) {
         ++bucket[(src_block << 32) | dst_block];
       }
     }
-    util::omp_region_barrier();  // phase A maps → phase B merge
+  };
 
+  const auto phase_b = [&] {
 #pragma omp for schedule(static, 1) nowait
     for (std::int64_t s = 0; s < static_cast<std::int64_t>(shards); ++s) {
       ShardTotals& t = totals[static_cast<std::size_t>(s)];
@@ -136,8 +172,9 @@ void Blockmodel::build_from(const Graph& graph) {
         t.ll_degrees += xlogx_fixed(d_out_[static_cast<std::size_t>(r)]);
       }
     }
-    util::omp_region_barrier();  // phase B cells → phase C columns
+  };
 
+  const auto phase_c = [&] {
 #pragma omp for schedule(static, 1) nowait
     for (std::int64_t s = 0; s < static_cast<std::int64_t>(shards); ++s) {
       ShardTotals& t = totals[static_cast<std::size_t>(s)];
@@ -153,7 +190,37 @@ void Blockmodel::build_from(const Graph& graph) {
         t.ll_degrees += xlogx_fixed(d_in_[static_cast<std::size_t>(c)]);
       }
     }
-  });
+  };
+
+  if (release == nullptr) {
+    util::omp_region([&] {
+      phase_a(0, v_count);
+      util::omp_region_barrier();  // phase A maps → phase B merge
+      phase_b();
+      util::omp_region_barrier();  // phase B cells → phase C columns
+      phase_c();
+    });
+  } else {
+    // Out-of-core path: scan bounded vertex ranges, dropping mapped CSR
+    // pages between ranges so peak residency stays near one chunk. The
+    // gathered maps are the same integer counts, just accumulated in a
+    // different grouping.
+    const std::int64_t chunk =
+        chunk_vertices > 0 ? chunk_vertices
+                           : std::max<std::int64_t>(v_count, 1);
+    for (std::int64_t begin = 0; begin < v_count; begin += chunk) {
+      const auto end = static_cast<Vertex>(
+          std::min<std::int64_t>(begin + chunk, v_count));
+      util::omp_region(
+          [&] { phase_a(static_cast<Vertex>(begin), end); });
+      (*release)();
+    }
+    util::omp_region([&] {
+      phase_b();
+      util::omp_region_barrier();  // phase B cells → phase C columns
+      phase_c();
+    });
+  }
 
   Count total = 0;
   std::int64_t nnz = 0;
@@ -166,7 +233,7 @@ void Blockmodel::build_from(const Graph& graph) {
   m_.set_bulk_counters(total, static_cast<std::size_t>(nnz));
 }
 
-void Blockmodel::move_vertex(const Graph& graph, Vertex v, BlockId to) {
+void Blockmodel::move_vertex(const GraphView& graph, Vertex v, BlockId to) {
   const BlockId from = assignment_[static_cast<std::size_t>(v)];
   if (from == to) return;
   assert(to >= 0 && to < num_blocks_);
@@ -216,14 +283,14 @@ void Blockmodel::move_vertex(const Graph& graph, Vertex v, BlockId to) {
   ++block_sizes_[static_cast<std::size_t>(to)];
 }
 
-void Blockmodel::rebuild(const Graph& graph,
+void Blockmodel::rebuild(const GraphView& graph,
                          std::span<const std::int32_t> assignment) {
   assert(assignment.size() == static_cast<std::size_t>(graph.num_vertices()));
   assignment_.assign(assignment.begin(), assignment.end());
   build_from(graph);
 }
 
-bool Blockmodel::check_consistency(const Graph& graph) const {
+bool Blockmodel::check_consistency(const GraphView& graph) const {
   if (!m_.check_consistency()) return false;
   Blockmodel fresh = from_assignment(graph, assignment_, num_blocks_);
   if (fresh.m_.total() != m_.total()) return false;

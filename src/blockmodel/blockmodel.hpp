@@ -22,12 +22,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "blockmodel/dict_transpose_matrix.hpp"
 #include "blockmodel/xlogx_table.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace hsbp::blockmodel {
 
@@ -39,12 +40,23 @@ class Blockmodel {
   /// [0, num_blocks). OpenMP-parallel over vertices.
   /// \throws std::invalid_argument if assignment size != V or a label is
   /// outside [0, num_blocks).
-  static Blockmodel from_assignment(const graph::Graph& graph,
+  static Blockmodel from_assignment(const graph::GraphView& graph,
                                     std::span<const std::int32_t> assignment,
                                     BlockId num_blocks);
 
+  /// from_assignment with bounded graph residency, for the out-of-core
+  /// driver: the edge scan runs over `chunk_vertices`-sized vertex
+  /// ranges with `release` invoked between ranges (pointed at
+  /// MmapGraph::evict it caps how much of a mapped CSR stays resident).
+  /// The accumulation is integer counts keyed by block pair, so the
+  /// result equals from_assignment exactly.
+  static Blockmodel from_assignment_chunked(
+      const graph::GraphView& graph,
+      std::span<const std::int32_t> assignment, BlockId num_blocks,
+      graph::Vertex chunk_vertices, const std::function<void()>& release);
+
   /// Identity partition: every vertex its own block (SBP's start state).
-  static Blockmodel identity(const graph::Graph& graph);
+  static Blockmodel identity(const graph::GraphView& graph);
 
   BlockId num_blocks() const noexcept { return num_blocks_; }
   const std::vector<std::int32_t>& assignment() const noexcept {
@@ -71,11 +83,11 @@ class Blockmodel {
 
   /// Moves vertex v to block `to`, updating M, degrees and sizes in
   /// place in O(deg(v)). No-op if v is already in `to`.
-  void move_vertex(const graph::Graph& graph, graph::Vertex v, BlockId to);
+  void move_vertex(const graph::GraphView& graph, graph::Vertex v, BlockId to);
 
   /// Replaces the membership vector and reconstructs M/degrees/sizes
   /// (OpenMP-parallel). Number of blocks is unchanged.
-  void rebuild(const graph::Graph& graph,
+  void rebuild(const graph::GraphView& graph,
                std::span<const std::int32_t> assignment);
 
   /// Deep-copies the membership vector (the A-SBP working copy).
@@ -91,10 +103,13 @@ class Blockmodel {
 
   /// Full structural invariant check (matrix mirror, degree totals,
   /// sizes, fixed-point likelihood sums); O(E + nnz). For tests.
-  bool check_consistency(const graph::Graph& graph) const;
+  bool check_consistency(const graph::GraphView& graph) const;
 
  private:
-  void build_from(const graph::Graph& graph);
+  void build_from(const graph::GraphView& graph);
+  void build_from(const graph::GraphView& graph,
+                  graph::Vertex chunk_vertices,
+                  const std::function<void()>* release);
 
   /// m_.add(row, col, +1) returning the canonical quantized change to
   /// Σ xlogx(M_rs) — a single step-table lookup. Callers accumulate the

@@ -13,7 +13,7 @@ MoveScratch& thread_move_scratch() noexcept {
 }
 
 NeighborBlockCounts gather_neighbor_blocks(
-    const graph::Graph& graph, std::span<const std::int32_t> assignment,
+    const graph::GraphView& graph, std::span<const std::int32_t> assignment,
     graph::Vertex v) {
   return gather_neighbor_blocks_view(
       graph,

@@ -228,7 +228,7 @@ struct FlatMembershipView {
 /// scratch.batch.blocks first; the stamping loop reads the same block
 /// values either way, so the nb output is identical.
 template <typename View>
-void gather_neighbor_blocks_into(const graph::Graph& graph, const View& view,
+void gather_neighbor_blocks_into(const graph::GraphView& graph, const View& view,
                                  graph::Vertex v, MoveScratch& scratch) {
   constexpr bool kFlat = std::is_same_v<View, FlatMembershipView>;
   NeighborBlockCounts& nb = scratch.nb;
@@ -306,7 +306,7 @@ Count move_new_value(const Blockmodel& b, const MoveScratch& scratch,
 
 /// By-value wrapper over gather_neighbor_blocks_into (thread scratch).
 template <typename View>
-NeighborBlockCounts gather_neighbor_blocks_view(const graph::Graph& graph,
+NeighborBlockCounts gather_neighbor_blocks_view(const graph::GraphView& graph,
                                                 const View& view,
                                                 graph::Vertex v) {
   MoveScratch& scratch = thread_move_scratch();
@@ -315,7 +315,7 @@ NeighborBlockCounts gather_neighbor_blocks_view(const graph::Graph& graph,
 }
 
 NeighborBlockCounts gather_neighbor_blocks(
-    const graph::Graph& graph, std::span<const std::int32_t> assignment,
+    const graph::GraphView& graph, std::span<const std::int32_t> assignment,
     graph::Vertex v);
 
 /// By-value wrapper over vertex_move_delta_into (thread scratch). ΔMDL

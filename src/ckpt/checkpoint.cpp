@@ -240,7 +240,7 @@ std::uint64_t mix64(std::uint64_t h, std::uint64_t value) noexcept {
 
 }  // namespace
 
-GraphFingerprint fingerprint(const graph::Graph& graph) {
+GraphFingerprint fingerprint(const graph::GraphView& graph) {
   GraphFingerprint fp;
   fp.num_vertices = graph.num_vertices();
   fp.num_edges = graph.num_edges();
@@ -256,7 +256,7 @@ GraphFingerprint fingerprint(const graph::Graph& graph) {
 }
 
 void validate_fingerprint(const GraphFingerprint& saved,
-                          const graph::Graph& graph,
+                          const graph::GraphView& graph,
                           const std::string& path) {
   const GraphFingerprint live = fingerprint(graph);
   if (saved == live) return;

@@ -67,11 +67,11 @@ struct GraphFingerprint {
   bool operator==(const GraphFingerprint&) const = default;
 };
 
-GraphFingerprint fingerprint(const graph::Graph& graph);
+GraphFingerprint fingerprint(const graph::GraphView& graph);
 
 /// \throws util::DataError if `saved` does not match the live graph.
 void validate_fingerprint(const GraphFingerprint& saved,
-                          const graph::Graph& graph,
+                          const graph::GraphView& graph,
                           const std::string& path);
 
 // ------------------------------------------------------------ sbp-run

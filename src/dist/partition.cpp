@@ -9,7 +9,7 @@
 namespace hsbp::dist {
 
 using graph::EdgeCount;
-using graph::Graph;
+using graph::GraphView;
 using graph::Vertex;
 
 const char* strategy_name(PartitionStrategy strategy) noexcept {
@@ -35,7 +35,7 @@ double VertexPartition::imbalance() const noexcept {
   return static_cast<double>(max_load) / mean;
 }
 
-VertexPartition partition_vertices(const Graph& graph, int ranks,
+VertexPartition partition_vertices(const GraphView& graph, int ranks,
                                    PartitionStrategy strategy) {
   if (ranks < 1) throw std::invalid_argument("partition: ranks >= 1");
 

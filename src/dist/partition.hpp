@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace hsbp::dist {
 
@@ -34,7 +34,7 @@ struct VertexPartition {
 };
 
 /// Partitions the graph's vertices over `ranks`. \pre ranks >= 1.
-VertexPartition partition_vertices(const graph::Graph& graph, int ranks,
+VertexPartition partition_vertices(const graph::GraphView& graph, int ranks,
                                    PartitionStrategy strategy);
 
 }  // namespace hsbp::dist

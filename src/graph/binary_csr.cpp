@@ -1,0 +1,332 @@
+#include "graph/binary_csr.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/atomic_file.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "graph/io_stream.hpp"
+#include "util/errors.hpp"
+
+namespace hsbp::graph {
+
+namespace {
+
+template <typename T>
+void put(char* out, std::size_t offset, T value) noexcept {
+  std::memcpy(out + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T get(const char* in, std::size_t offset) noexcept {
+  T value;
+  std::memcpy(&value, in + offset, sizeof(T));
+  return value;
+}
+
+[[noreturn]] void fail_format(const std::string& path,
+                              const std::string& what) {
+  throw util::DataError("binary CSR '" + path + "': " + what);
+}
+
+bool has_mtx_suffix(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".mtx") == 0;
+}
+
+/// One streaming scan of a text graph file; returns the declared vertex
+/// count for Matrix Market (0 for edge lists, whose vertex count is
+/// implied by the ids seen).
+template <typename EdgeFn>
+Vertex scan_text_graph(const std::string& path, WeightHandling weights,
+                       EdgeFn&& fn) {
+  std::ifstream in(path);
+  if (!in) throw util::IoError("cannot open '" + path + "' for reading");
+  if (has_mtx_suffix(path)) {
+    return scan_matrix_market(in, weights, std::forward<EdgeFn>(fn));
+  }
+  scan_edge_list(in, weights, std::forward<EdgeFn>(fn));
+  return 0;
+}
+
+/// Writable file mapping for the convert output; cleans up (munmap,
+/// close, unlink the temp file) unless disarmed after the rename.
+class TempMapping {
+ public:
+  TempMapping(const std::string& temp_path, std::size_t bytes)
+      : temp_path_(temp_path), bytes_(bytes) {
+    fd_ = ::open(temp_path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0) {
+      throw util::IoError("cannot create '" + temp_path_ + "' for writing");
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0) {
+      throw util::IoError("cannot size '" + temp_path_ + "' to " +
+                          std::to_string(bytes_) + " bytes");
+    }
+    map_ = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_,
+                  0);
+    if (map_ == MAP_FAILED) {
+      map_ = nullptr;
+      throw util::IoError("cannot map '" + temp_path_ + "' for writing");
+    }
+  }
+
+  ~TempMapping() {
+    if (map_ != nullptr) ::munmap(map_, bytes_);
+    if (fd_ >= 0) ::close(fd_);
+    if (!committed_) std::remove(temp_path_.c_str());
+  }
+
+  TempMapping(const TempMapping&) = delete;
+  TempMapping& operator=(const TempMapping&) = delete;
+
+  char* data() noexcept { return static_cast<char*>(map_); }
+
+  /// msync + fsync + rename onto `final_path`; disarms the unlink.
+  void commit(const std::string& final_path) {
+    if (::msync(map_, bytes_, MS_SYNC) != 0) {
+      throw util::IoError("cannot flush '" + temp_path_ + "'");
+    }
+    ::munmap(map_, bytes_);
+    map_ = nullptr;
+    if (::fsync(fd_) != 0) {
+      throw util::IoError("cannot fsync '" + temp_path_ + "'");
+    }
+    ::close(fd_);
+    fd_ = -1;
+    if (std::rename(temp_path_.c_str(), final_path.c_str()) != 0) {
+      throw util::IoError("cannot rename '" + temp_path_ + "' to '" +
+                          final_path + "'");
+    }
+    committed_ = true;
+  }
+
+ private:
+  std::string temp_path_;
+  std::size_t bytes_;
+  int fd_ = -1;
+  void* map_ = nullptr;
+  bool committed_ = false;
+};
+
+}  // namespace
+
+std::int64_t binary_csr_file_bytes(Vertex num_vertices,
+                                   EdgeCount num_edges) noexcept {
+  return static_cast<std::int64_t>(kBinaryCsrHeaderBytes) +
+         16 * (static_cast<std::int64_t>(num_vertices) + 1) + 8 * num_edges;
+}
+
+void encode_binary_csr_header(const BinaryCsrHeader& header,
+                              char out[kBinaryCsrHeaderBytes]) noexcept {
+  std::memset(out, 0, kBinaryCsrHeaderBytes);
+  std::memcpy(out, kBinaryCsrMagic, sizeof(kBinaryCsrMagic));
+  put<std::uint32_t>(out, 8, kBinaryCsrVersion);
+  put<std::uint32_t>(out, 12, kBinaryCsrByteOrder);
+  put<std::int32_t>(out, 16, header.num_vertices);
+  put<std::int64_t>(out, 20, header.num_edges);
+  put<std::int64_t>(out, 28, header.self_loops);
+  put<std::uint32_t>(out, 36, header.payload_crc);
+  put<std::uint32_t>(out, 40, ckpt::crc32(std::string_view(out, 40)));
+}
+
+BinaryCsrHeader decode_binary_csr_header(const char* bytes,
+                                         std::size_t available,
+                                         std::int64_t file_bytes,
+                                         const std::string& path) {
+  if (available < kBinaryCsrHeaderBytes) {
+    fail_format(path, "file too small to hold a header (" +
+                          std::to_string(available) + " bytes)");
+  }
+  if (std::memcmp(bytes, kBinaryCsrMagic, sizeof(kBinaryCsrMagic)) != 0) {
+    fail_format(path, "bad magic (not a binary CSR file)");
+  }
+  const auto version = get<std::uint32_t>(bytes, 8);
+  if (version != kBinaryCsrVersion) {
+    fail_format(path, "unsupported format version " +
+                          std::to_string(version) + " (expected " +
+                          std::to_string(kBinaryCsrVersion) + ")");
+  }
+  const auto byte_order = get<std::uint32_t>(bytes, 12);
+  if (byte_order != kBinaryCsrByteOrder) {
+    fail_format(path,
+                "byte-order mismatch (written on a different-endian host)");
+  }
+  if (get<std::uint32_t>(bytes, 40) !=
+      ckpt::crc32(std::string_view(bytes, 40))) {
+    fail_format(path, "header CRC mismatch");
+  }
+  BinaryCsrHeader header;
+  header.num_vertices = get<std::int32_t>(bytes, 16);
+  header.num_edges = get<std::int64_t>(bytes, 20);
+  header.self_loops = get<std::int64_t>(bytes, 28);
+  header.payload_crc = get<std::uint32_t>(bytes, 36);
+  if (header.num_vertices < 0 || header.num_edges < 0 ||
+      header.self_loops < 0 || header.self_loops > header.num_edges) {
+    fail_format(path, "invalid counts in header");
+  }
+  if (file_bytes >= 0) {
+    const std::int64_t expected =
+        binary_csr_file_bytes(header.num_vertices, header.num_edges);
+    if (file_bytes != expected) {
+      fail_format(path, "file size " + std::to_string(file_bytes) +
+                            " != expected " + std::to_string(expected) +
+                            " (truncated or corrupt)");
+    }
+  }
+  return header;
+}
+
+void write_binary_csr(const GraphView& graph, const std::string& path,
+                      ckpt::FaultInjector* fault) {
+  const Vertex num_vertices = graph.num_vertices();
+  const EdgeCount num_edges = graph.num_edges();
+  const auto total =
+      static_cast<std::size_t>(binary_csr_file_bytes(num_vertices, num_edges));
+  std::string file(total, '\0');
+  char* base = file.data();
+
+  const std::size_t offsets_bytes =
+      (static_cast<std::size_t>(num_vertices) + 1) * sizeof(std::uint64_t);
+  const std::size_t targets_bytes =
+      static_cast<std::size_t>(num_edges) * sizeof(Vertex);
+  std::size_t cursor = kBinaryCsrHeaderBytes;
+  std::memcpy(base + cursor, graph.out_offsets_data(), offsets_bytes);
+  cursor += offsets_bytes;
+  std::memcpy(base + cursor, graph.in_offsets_data(), offsets_bytes);
+  cursor += offsets_bytes;
+  if (targets_bytes > 0) {
+    std::memcpy(base + cursor, graph.out_targets_data(), targets_bytes);
+    cursor += targets_bytes;
+    std::memcpy(base + cursor, graph.in_sources_data(), targets_bytes);
+  }
+
+  BinaryCsrHeader header;
+  header.num_vertices = num_vertices;
+  header.num_edges = num_edges;
+  header.self_loops = graph.num_self_loops();
+  header.payload_crc = ckpt::crc32(std::string_view(
+      base + kBinaryCsrHeaderBytes, total - kBinaryCsrHeaderBytes));
+  encode_binary_csr_header(header, base);
+  ckpt::atomic_write_file(path, file, fault);
+}
+
+ConvertStats convert_text_to_csr(const std::string& input_path,
+                                 const std::string& output_path,
+                                 WeightHandling weights) {
+  // Pass 1: count degrees. O(V) heap, edges stream through.
+  std::vector<std::uint64_t> out_degree;
+  std::vector<std::uint64_t> in_degree;
+  EdgeCount num_edges = 0;
+  EdgeCount self_loops = 0;
+  const Vertex declared = scan_text_graph(
+      input_path, weights,
+      [&](Vertex src, Vertex dst, std::int64_t multiplicity) {
+        const auto needed =
+            static_cast<std::size_t>(std::max(src, dst)) + 1;
+        if (out_degree.size() < needed) {
+          out_degree.resize(needed, 0);
+          in_degree.resize(needed, 0);
+        }
+        out_degree[static_cast<std::size_t>(src)] +=
+            static_cast<std::uint64_t>(multiplicity);
+        in_degree[static_cast<std::size_t>(dst)] +=
+            static_cast<std::uint64_t>(multiplicity);
+        num_edges += multiplicity;
+        if (src == dst) self_loops += multiplicity;
+      });
+  // Vertex count: max id seen + 1, raised to the Matrix Market declared
+  // dimension — the same rule GraphBuilder::reserve_vertices applies, so
+  // convert-then-mmap equals load-then-view exactly.
+  const Vertex num_vertices = std::max(
+      declared, static_cast<Vertex>(out_degree.size()));
+  out_degree.resize(static_cast<std::size_t>(num_vertices), 0);
+  in_degree.resize(static_cast<std::size_t>(num_vertices), 0);
+
+  const std::int64_t total_bytes =
+      binary_csr_file_bytes(num_vertices, num_edges);
+  TempMapping out(output_path + ".tmp",
+                  static_cast<std::size_t>(total_bytes));
+  char* base = out.data();
+
+  // Lay the prefix sums straight into the mapped offset arrays; the
+  // degree vectors become pass-2 write cursors.
+  auto* out_offsets = reinterpret_cast<std::uint64_t*>(
+      base + kBinaryCsrHeaderBytes);
+  auto* in_offsets = out_offsets + (num_vertices + 1);
+  auto* out_targets = reinterpret_cast<Vertex*>(in_offsets +
+                                                (num_vertices + 1));
+  auto* in_sources = out_targets + num_edges;
+  std::uint64_t out_sum = 0;
+  std::uint64_t in_sum = 0;
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    out_offsets[v] = out_sum;
+    in_offsets[v] = in_sum;
+    const std::uint64_t od = out_degree[static_cast<std::size_t>(v)];
+    const std::uint64_t id = in_degree[static_cast<std::size_t>(v)];
+    out_degree[static_cast<std::size_t>(v)] = out_sum;  // now a cursor
+    in_degree[static_cast<std::size_t>(v)] = in_sum;
+    out_sum += od;
+    in_sum += id;
+  }
+  out_offsets[num_vertices] = out_sum;
+  in_offsets[num_vertices] = in_sum;
+
+  // Pass 2: scatter edges into the mapped target arrays. The input file
+  // must be byte-identical to pass 1; any drift is caught below.
+  EdgeCount seen = 0;
+  scan_text_graph(
+      input_path, weights,
+      [&](Vertex src, Vertex dst, std::int64_t multiplicity) {
+        if (src >= num_vertices || dst >= num_vertices ||
+            seen + multiplicity > num_edges) {
+          throw util::DataError("'" + input_path +
+                                "' changed between convert passes");
+        }
+        auto& out_cursor = out_degree[static_cast<std::size_t>(src)];
+        auto& in_cursor = in_degree[static_cast<std::size_t>(dst)];
+        for (std::int64_t m = 0; m < multiplicity; ++m) {
+          out_targets[out_cursor++] = dst;
+          in_sources[in_cursor++] = src;
+        }
+        seen += multiplicity;
+      });
+  if (seen != num_edges) {
+    throw util::DataError("'" + input_path +
+                          "' changed between convert passes");
+  }
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    if (out_degree[static_cast<std::size_t>(v)] != out_offsets[v + 1] ||
+        in_degree[static_cast<std::size_t>(v)] != in_offsets[v + 1]) {
+      throw util::DataError("'" + input_path +
+                            "' changed between convert passes");
+    }
+  }
+
+  BinaryCsrHeader header;
+  header.num_vertices = num_vertices;
+  header.num_edges = num_edges;
+  header.self_loops = self_loops;
+  header.payload_crc = ckpt::crc32(std::string_view(
+      base + kBinaryCsrHeaderBytes,
+      static_cast<std::size_t>(total_bytes) - kBinaryCsrHeaderBytes));
+  encode_binary_csr_header(header, base);
+  out.commit(output_path);
+
+  ConvertStats stats;
+  stats.num_vertices = num_vertices;
+  stats.num_edges = num_edges;
+  stats.self_loops = self_loops;
+  stats.file_bytes = total_bytes;
+  return stats;
+}
+
+}  // namespace hsbp::graph

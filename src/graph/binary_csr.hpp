@@ -1,0 +1,111 @@
+/// \file binary_csr.hpp
+/// \brief The versioned binary CSR file format behind `hsbp convert`
+/// and MmapGraph — the on-disk twin of graph::Graph.
+///
+/// Text edge lists are parse-bound and cannot be mapped; a one-time
+/// compaction step rewrites them into the exact four arrays Graph holds
+/// in memory, so an MmapGraph can serve a GraphView straight off the
+/// page cache with zero parse work and bounded resident memory.
+///
+/// Layout (all fields little-endian, written on a little-endian host
+/// and rejected elsewhere via the byte-order marker):
+///
+///   offset  size  field
+///        0     8  magic "HSBPCSR1"
+///        8     4  u32 format version (kBinaryCsrVersion)
+///       12     4  u32 byte-order marker 0x01020304 (as written)
+///       16     4  i32 num_vertices V
+///       20     8  i64 num_edges E
+///       28     8  i64 num_self_loops
+///       36     4  u32 CRC-32 of the payload (ckpt::crc32)
+///       40     4  u32 CRC-32 of header bytes [0, 40)
+///       44    20  reserved, zero
+///       64        payload:
+///                   out_offsets  (V+1) × u64
+///                   in_offsets   (V+1) × u64
+///                   out_targets      E × i32
+///                   in_sources       E × i32
+///
+/// The 8-byte offset arrays precede the 4-byte target arrays so every
+/// array is naturally aligned at its file offset (the header is 64
+/// bytes, a multiple of 8). The header CRC is verified eagerly on open
+/// (it covers the counts the reader trusts for bounds); the payload CRC
+/// is verified by `hsbp convert` after writing and on demand
+/// (MmapGraph::verify_payload) — eagerly CRC-ing a multi-GB payload on
+/// every open would defeat the point of mapping it. Truncation is
+/// caught structurally: the file size must equal
+/// binary_csr_file_bytes(V, E) exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/io.hpp"
+#include "graph/view.hpp"
+
+namespace hsbp::ckpt {
+class FaultInjector;
+}
+
+namespace hsbp::graph {
+
+inline constexpr char kBinaryCsrMagic[8] = {'H', 'S', 'B', 'P',
+                                            'C', 'S', 'R', '1'};
+inline constexpr std::uint32_t kBinaryCsrVersion = 1;
+inline constexpr std::uint32_t kBinaryCsrByteOrder = 0x01020304u;
+inline constexpr std::size_t kBinaryCsrHeaderBytes = 64;
+
+/// Decoded and validated header of a binary CSR file.
+struct BinaryCsrHeader {
+  Vertex num_vertices = 0;
+  EdgeCount num_edges = 0;
+  EdgeCount self_loops = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Exact file size of a binary CSR holding (V, E).
+std::int64_t binary_csr_file_bytes(Vertex num_vertices,
+                                   EdgeCount num_edges) noexcept;
+
+/// Serializes the 64-byte header (computes the header CRC).
+void encode_binary_csr_header(const BinaryCsrHeader& header,
+                              char out[kBinaryCsrHeaderBytes]) noexcept;
+
+/// Parses and validates a header: magic, version, byte order, header
+/// CRC, non-negative counts. `file_bytes` (when >= 0) must equal the
+/// size the counts imply — the truncated/torn-write gate.
+/// \throws util::DataError naming `path` on any mismatch.
+BinaryCsrHeader decode_binary_csr_header(const char* bytes,
+                                         std::size_t available,
+                                         std::int64_t file_bytes,
+                                         const std::string& path);
+
+/// Writes `graph` as a binary CSR file through ckpt::atomic_write_file
+/// (temp → fsync → rename; `fault` reproduces torn writes in tests).
+/// Materializes the file contents in memory — intended for graphs that
+/// already fit in RAM; the out-of-core path is convert_text_to_csr.
+/// \throws util::IoError on write failure.
+void write_binary_csr(const GraphView& graph, const std::string& path,
+                      ckpt::FaultInjector* fault = nullptr);
+
+struct ConvertStats {
+  Vertex num_vertices = 0;
+  EdgeCount num_edges = 0;
+  EdgeCount self_loops = 0;
+  std::int64_t file_bytes = 0;
+};
+
+/// Streaming two-pass compaction: scans the text file (Matrix Market
+/// when `input_path` ends in ".mtx", SNAP edge list otherwise) once to
+/// count degrees, then once more to scatter targets directly into the
+/// mmap-ed output file. Peak heap is O(V) (degree counters + write
+/// cursors); the edge arrays never materialize in memory. The output
+/// appears atomically (written to `output_path + ".tmp"`, fsynced,
+/// renamed) and its payload CRC is verified before the rename.
+/// \throws util::DataError on malformed input or an input file that
+/// changed between the passes; util::IoError on I/O failure.
+ConvertStats convert_text_to_csr(const std::string& input_path,
+                                 const std::string& output_path,
+                                 WeightHandling weights);
+
+}  // namespace hsbp::graph

@@ -6,7 +6,7 @@
 
 namespace hsbp::graph {
 
-ComponentInfo weakly_connected_components(const Graph& graph) {
+ComponentInfo weakly_connected_components(const GraphView& graph) {
   ComponentInfo info;
   const auto v_count = static_cast<std::size_t>(graph.num_vertices());
   info.component_of.assign(v_count, -1);
@@ -42,7 +42,7 @@ ComponentInfo weakly_connected_components(const Graph& graph) {
   return info;
 }
 
-Subgraph extract_component(const Graph& graph, const ComponentInfo& info,
+Subgraph extract_component(const GraphView& graph, const ComponentInfo& info,
                            std::int32_t component) {
   assert(component >= 0 && component < info.count);
   Subgraph out;

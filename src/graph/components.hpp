@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace hsbp::graph {
 
@@ -22,7 +22,7 @@ struct ComponentInfo {
 };
 
 /// Weakly-connected components (edge direction ignored), iterative BFS.
-ComponentInfo weakly_connected_components(const Graph& graph);
+ComponentInfo weakly_connected_components(const GraphView& graph);
 
 /// Extracts the subgraph induced by one component. Returns the new
 /// graph plus the mapping from new vertex ids to the original ids.
@@ -30,7 +30,7 @@ struct Subgraph {
   Graph graph;
   std::vector<Vertex> original_ids;  ///< new id → original id
 };
-Subgraph extract_component(const Graph& graph, const ComponentInfo& info,
+Subgraph extract_component(const GraphView& graph, const ComponentInfo& info,
                            std::int32_t component);
 
 }  // namespace hsbp::graph

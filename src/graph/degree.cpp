@@ -6,7 +6,7 @@
 
 namespace hsbp::graph {
 
-std::vector<EdgeCount> degree_sequence(const Graph& graph) {
+std::vector<EdgeCount> degree_sequence(const GraphView& graph) {
   std::vector<EdgeCount> degrees(static_cast<std::size_t>(graph.num_vertices()));
   for (Vertex v = 0; v < graph.num_vertices(); ++v) {
     degrees[static_cast<std::size_t>(v)] = graph.degree(v);
@@ -14,7 +14,7 @@ std::vector<EdgeCount> degree_sequence(const Graph& graph) {
   return degrees;
 }
 
-std::vector<Vertex> vertices_by_degree_desc(const Graph& graph) {
+std::vector<Vertex> vertices_by_degree_desc(const GraphView& graph) {
   std::vector<Vertex> order(static_cast<std::size_t>(graph.num_vertices()));
   for (Vertex v = 0; v < graph.num_vertices(); ++v) {
     order[static_cast<std::size_t>(v)] = v;
@@ -27,7 +27,7 @@ std::vector<Vertex> vertices_by_degree_desc(const Graph& graph) {
   return order;
 }
 
-DegreeSplit split_by_degree(const Graph& graph, double fraction) {
+DegreeSplit split_by_degree(const GraphView& graph, double fraction) {
   assert(fraction >= 0.0 && fraction <= 1.0);
   const auto order = vertices_by_degree_desc(graph);
   const auto high_count = static_cast<std::size_t>(

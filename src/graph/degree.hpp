@@ -10,16 +10,16 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace hsbp::graph {
 
 /// Total degree (out + in) of every vertex.
-std::vector<EdgeCount> degree_sequence(const Graph& graph);
+std::vector<EdgeCount> degree_sequence(const GraphView& graph);
 
 /// Vertex ids sorted by total degree, descending; ties broken by vertex
 /// id ascending so the order is deterministic.
-std::vector<Vertex> vertices_by_degree_desc(const Graph& graph);
+std::vector<Vertex> vertices_by_degree_desc(const GraphView& graph);
 
 /// Splits vertices into (high, low) by the given high-degree fraction:
 /// the first ceil(fraction * V) vertices of vertices_by_degree_desc.
@@ -28,7 +28,7 @@ struct DegreeSplit {
   std::vector<Vertex> high;  ///< processed serially by H-SBP
   std::vector<Vertex> low;   ///< processed asynchronously
 };
-DegreeSplit split_by_degree(const Graph& graph, double fraction);
+DegreeSplit split_by_degree(const GraphView& graph, double fraction);
 
 /// Maximum-likelihood estimate of the power-law exponent of the degree
 /// sequence (Clauset et al. 2009, discrete approximation):

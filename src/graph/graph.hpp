@@ -80,6 +80,7 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend class GraphView;  // view.hpp: non-owning CSR view over the arrays
 
   std::vector<std::uint64_t> out_offsets_{0};
   std::vector<Vertex> out_targets_;

@@ -15,7 +15,7 @@
 #include <iosfwd>
 #include <string>
 
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace hsbp::graph {
 
@@ -38,8 +38,8 @@ Graph read_edge_list_file(const std::string& path,
                           WeightHandling weights = WeightHandling::Ignore);
 
 /// Writes one `src\tdst` line per edge, with a `# V E` header comment.
-void write_edge_list(const Graph& graph, std::ostream& out);
-void write_edge_list_file(const Graph& graph, const std::string& path);
+void write_edge_list(const GraphView& graph, std::ostream& out);
+void write_edge_list_file(const GraphView& graph, const std::string& path);
 
 /// Reads a Matrix Market `matrix coordinate` file as a directed graph:
 /// entry (i, j) becomes edge i-1 → j-1. `pattern`, `integer`, and `real`
@@ -55,7 +55,7 @@ Graph read_matrix_market_file(
     WeightHandling weights = WeightHandling::Ignore);
 
 /// Writes the graph as `%%MatrixMarket matrix coordinate pattern general`.
-void write_matrix_market(const Graph& graph, std::ostream& out);
-void write_matrix_market_file(const Graph& graph, const std::string& path);
+void write_matrix_market(const GraphView& graph, std::ostream& out);
+void write_matrix_market_file(const GraphView& graph, const std::string& path);
 
 }  // namespace hsbp::graph

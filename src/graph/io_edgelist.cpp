@@ -1,20 +1,14 @@
-#include <cmath>
 #include <fstream>
-#include <sstream>
 #include <string>
 
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
+#include "graph/io_stream.hpp"
 #include "util/errors.hpp"
 
 namespace hsbp::graph {
 
 namespace {
-
-[[noreturn]] void fail(std::size_t line_number, const std::string& what) {
-  throw util::DataError("edge list, line " + std::to_string(line_number) +
-                        ": " + what);
-}
 
 std::ifstream open_for_read(const std::string& path) {
   std::ifstream in(path);
@@ -32,39 +26,12 @@ std::ofstream open_for_write(const std::string& path) {
 
 Graph read_edge_list(std::istream& in, WeightHandling weights) {
   GraphBuilder builder;
-  std::string line;
-  std::size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream fields(line);
-    long long src = 0, dst = 0;
-    if (!(fields >> src >> dst)) {
-      fail(line_number, "expected 'src dst', got '" + line + "'");
-    }
-    if (src < 0 || dst < 0) fail(line_number, "negative vertex id");
-    constexpr long long kMaxVertex = 2'000'000'000LL;
-    if (src > kMaxVertex || dst > kMaxVertex) {
-      fail(line_number, "vertex id exceeds 32-bit range");
-    }
-    long long multiplicity = 1;
-    if (weights == WeightHandling::Multiplicity) {
-      double value = 1.0;
-      if (fields >> value) {
-        multiplicity = std::llround(value);
-        if (multiplicity < 1) {
-          fail(line_number, "weight must round to >= 1 under Multiplicity");
-        }
-        constexpr long long kMaxMultiplicity = 1'000'000;
-        if (multiplicity > kMaxMultiplicity) {
-          fail(line_number, "weight too large");
-        }
-      }
-    }
-    for (long long m = 0; m < multiplicity; ++m) {
-      builder.add_edge(static_cast<Vertex>(src), static_cast<Vertex>(dst));
-    }
-  }
+  scan_edge_list(in, weights,
+                 [&builder](Vertex src, Vertex dst, std::int64_t mult) {
+                   for (std::int64_t m = 0; m < mult; ++m) {
+                     builder.add_edge(src, dst);
+                   }
+                 });
   return builder.build();
 }
 
@@ -73,7 +40,7 @@ Graph read_edge_list_file(const std::string& path, WeightHandling weights) {
   return read_edge_list(in, weights);
 }
 
-void write_edge_list(const Graph& graph, std::ostream& out) {
+void write_edge_list(const GraphView& graph, std::ostream& out) {
   out << "# " << graph.num_vertices() << ' ' << graph.num_edges() << '\n';
   for (Vertex v = 0; v < graph.num_vertices(); ++v) {
     for (Vertex target : graph.out_neighbors(v)) {
@@ -82,7 +49,7 @@ void write_edge_list(const Graph& graph, std::ostream& out) {
   }
 }
 
-void write_edge_list_file(const Graph& graph, const std::string& path) {
+void write_edge_list_file(const GraphView& graph, const std::string& path) {
   auto out = open_for_write(path);
   write_edge_list(graph, out);
 }

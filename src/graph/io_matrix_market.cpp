@@ -1,130 +1,22 @@
-#include <algorithm>
-#include <cmath>
 #include <fstream>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
+#include "graph/io_stream.hpp"
 #include "util/errors.hpp"
 
 namespace hsbp::graph {
 
-namespace {
-
-[[noreturn]] void fail(std::size_t line_number, const std::string& what) {
-  throw util::DataError("Matrix Market, line " +
-                        std::to_string(line_number) + ": " + what);
-}
-
-std::string to_lower(std::string text) {
-  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return text;
-}
-
-struct Header {
-  std::string field;     // pattern | integer | real
-  std::string symmetry;  // general | symmetric | skew-symmetric
-};
-
-Header parse_header(const std::string& line) {
-  std::istringstream tokens(line);
-  std::string banner, object, format, field, symmetry;
-  tokens >> banner >> object >> format >> field >> symmetry;
-  if (banner != "%%MatrixMarket") {
-    fail(1, "missing %%MatrixMarket banner");
-  }
-  object = to_lower(object);
-  format = to_lower(format);
-  field = to_lower(field);
-  symmetry = to_lower(symmetry);
-  if (object != "matrix") fail(1, "unsupported object '" + object + "'");
-  if (format != "coordinate") {
-    fail(1, "unsupported format '" + format + "' (only coordinate)");
-  }
-  if (field != "pattern" && field != "integer" && field != "real") {
-    fail(1, "unsupported field '" + field + "'");
-  }
-  if (symmetry != "general" && symmetry != "symmetric" &&
-      symmetry != "skew-symmetric") {
-    fail(1, "unsupported symmetry '" + symmetry + "'");
-  }
-  return {field, symmetry};
-}
-
-}  // namespace
-
 Graph read_matrix_market(std::istream& in, WeightHandling weights) {
-  std::string line;
-  std::size_t line_number = 1;
-  if (!std::getline(in, line)) fail(1, "empty input");
-  const Header header = parse_header(line);
-  if (weights == WeightHandling::Multiplicity && header.field == "pattern") {
-    // Pattern matrices carry no values; multiplicity degrades to 1.
-    weights = WeightHandling::Ignore;
-  }
-
-  // Skip comment lines to the size line.
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (!line.empty() && line[0] != '%') break;
-  }
-  std::istringstream size_line(line);
-  long long rows = 0, cols = 0, nnz = 0;
-  if (!(size_line >> rows >> cols >> nnz)) {
-    fail(line_number, "expected 'rows cols nnz', got '" + line + "'");
-  }
-  if (rows != cols) {
-    fail(line_number, "adjacency matrix must be square (" +
-                          std::to_string(rows) + "x" + std::to_string(cols) +
-                          ")");
-  }
-  if (rows <= 0 || nnz < 0) fail(line_number, "invalid dimensions");
-
-  GraphBuilder builder(static_cast<Vertex>(rows));
-  const bool mirror = header.symmetry != "general";
-  long long seen = 0;
-  while (seen < nnz && std::getline(in, line)) {
-    ++line_number;
-    if (line.empty() || line[0] == '%') continue;
-    std::istringstream entry(line);
-    long long i = 0, j = 0;
-    if (!(entry >> i >> j)) {
-      fail(line_number, "expected 'i j [value]', got '" + line + "'");
-    }
-    if (i < 1 || i > rows || j < 1 || j > cols) {
-      fail(line_number, "entry (" + std::to_string(i) + ", " +
-                            std::to_string(j) + ") out of bounds");
-    }
-    long long multiplicity = 1;
-    if (weights == WeightHandling::Multiplicity) {
-      double value = 1.0;
-      if (entry >> value) {
-        multiplicity = std::llround(std::fabs(value));
-        if (multiplicity < 1) {
-          fail(line_number, "weight must round to >= 1 under Multiplicity");
+  GraphBuilder builder;
+  const Vertex declared = scan_matrix_market(
+      in, weights, [&builder](Vertex src, Vertex dst, std::int64_t mult) {
+        for (std::int64_t m = 0; m < mult; ++m) {
+          builder.add_edge(src, dst);
         }
-        constexpr long long kMaxMultiplicity = 1'000'000;
-        if (multiplicity > kMaxMultiplicity) {
-          fail(line_number, "weight too large");
-        }
-      }
-    }
-    const auto src = static_cast<Vertex>(i - 1);
-    const auto dst = static_cast<Vertex>(j - 1);
-    for (long long m = 0; m < multiplicity; ++m) {
-      builder.add_edge(src, dst);
-      if (mirror && src != dst) builder.add_edge(dst, src);
-    }
-    ++seen;
-  }
-  if (seen < nnz) {
-    fail(line_number, "expected " + std::to_string(nnz) + " entries, found " +
-                          std::to_string(seen));
-  }
+      });
+  builder.reserve_vertices(declared);
   return builder.build();
 }
 
@@ -135,7 +27,7 @@ Graph read_matrix_market_file(const std::string& path,
   return read_matrix_market(in, weights);
 }
 
-void write_matrix_market(const Graph& graph, std::ostream& out) {
+void write_matrix_market(const GraphView& graph, std::ostream& out) {
   out << "%%MatrixMarket matrix coordinate pattern general\n";
   out << "% written by hsbp\n";
   out << graph.num_vertices() << ' ' << graph.num_vertices() << ' '
@@ -147,7 +39,8 @@ void write_matrix_market(const Graph& graph, std::ostream& out) {
   }
 }
 
-void write_matrix_market_file(const Graph& graph, const std::string& path) {
+void write_matrix_market_file(const GraphView& graph,
+                              const std::string& path) {
   std::ofstream out(path);
   if (!out) throw util::IoError("cannot open '" + path + "' for writing");
   write_matrix_market(graph, out);

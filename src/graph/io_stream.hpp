@@ -1,0 +1,256 @@
+/// \file io_stream.hpp
+/// \brief Single-pass streaming edge scanners behind the text readers
+/// and the `hsbp convert` compaction step.
+///
+/// Both text formats (SNAP edge lists, Matrix Market coordinate) are
+/// scanned line by line into one reused buffer; fields are parsed in
+/// place with strtoll/strtod, so a scan allocates nothing per line and
+/// never holds more than the longest single line in memory — graphs far
+/// larger than RAM stream through untouched. The scanners emit
+/// (source, target, multiplicity) callbacks instead of building a
+/// Graph, which lets one parser serve three consumers:
+///
+///   - read_edge_list / read_matrix_market (io.hpp) append into a
+///     GraphBuilder,
+///   - `hsbp convert` pass 1 counts degrees,
+///   - `hsbp convert` pass 2 fills the CSR target arrays.
+///
+/// Error behaviour is the io.hpp contract, unchanged: malformed input
+/// throws util::DataError carrying the 1-based line number ("edge list,
+/// line N: ..." / "Matrix Market, line N: ...").
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <istream>
+#include <string>
+
+#include "graph/io.hpp"
+#include "util/errors.hpp"
+
+namespace hsbp::graph::iostream_detail {
+
+[[noreturn]] inline void fail_edge_list(std::size_t line_number,
+                                        const std::string& what) {
+  throw util::DataError("edge list, line " + std::to_string(line_number) +
+                        ": " + what);
+}
+
+[[noreturn]] inline void fail_matrix_market(std::size_t line_number,
+                                            const std::string& what) {
+  throw util::DataError("Matrix Market, line " +
+                        std::to_string(line_number) + ": " + what);
+}
+
+/// strtoll wrapper with istream-compatible failure semantics: returns
+/// false when no digits were consumed or the value overflowed. `*rest`
+/// receives the position one past the parsed number.
+inline bool parse_ll(const char* text, long long* value, const char** rest) {
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text || errno == ERANGE) return false;
+  *value = parsed;
+  *rest = end;
+  return true;
+}
+
+/// Optional trailing weight column: absent or unparseable values keep
+/// the historical istream behaviour (multiplicity 1, no error); parsed
+/// values are validated by the caller.
+inline bool parse_weight(const char* text, double* value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text, &end);
+  if (end == text) return false;
+  *value = parsed;
+  return true;
+}
+
+/// Validates a parsed weight under WeightHandling::Multiplicity and
+/// returns the parallel-edge count it denotes.
+template <typename FailFn>
+long long weight_to_multiplicity(double value, std::size_t line_number,
+                                 FailFn&& fail) {
+  const long long multiplicity = std::llround(value);
+  if (multiplicity < 1) {
+    fail(line_number, "weight must round to >= 1 under Multiplicity");
+  }
+  constexpr long long kMaxMultiplicity = 1'000'000;
+  if (multiplicity > kMaxMultiplicity) fail(line_number, "weight too large");
+  return multiplicity;
+}
+
+}  // namespace hsbp::graph::iostream_detail
+
+namespace hsbp::graph {
+
+/// Streams a SNAP-style edge list (`src dst [weight]` per line, `#`/`%`
+/// comments), invoking `fn(Vertex source, Vertex target,
+/// std::int64_t multiplicity)` once per input entry. The multiplicity
+/// is 1 unless `weights` is Multiplicity and a weight column is
+/// present. \throws util::DataError on malformed lines.
+template <typename EdgeFn>
+void scan_edge_list(std::istream& in, WeightHandling weights, EdgeFn&& fn) {
+  namespace d = iostream_detail;
+  std::string line;  // reuse buffer: grows to the longest line, once
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    const char* cursor = line.c_str();
+    long long src = 0, dst = 0;
+    if (!d::parse_ll(cursor, &src, &cursor) ||
+        !d::parse_ll(cursor, &dst, &cursor)) {
+      d::fail_edge_list(line_number, "expected 'src dst', got '" + line + "'");
+    }
+    if (src < 0 || dst < 0) d::fail_edge_list(line_number, "negative vertex id");
+    constexpr long long kMaxVertex = 2'000'000'000LL;
+    if (src > kMaxVertex || dst > kMaxVertex) {
+      d::fail_edge_list(line_number, "vertex id exceeds 32-bit range");
+    }
+    long long multiplicity = 1;
+    if (weights == WeightHandling::Multiplicity) {
+      double value = 1.0;
+      if (d::parse_weight(cursor, &value)) {
+        multiplicity = d::weight_to_multiplicity(
+            value, line_number,
+            [](std::size_t n, const char* what) {
+              d::fail_edge_list(n, what);
+            });
+      }
+    }
+    fn(static_cast<Vertex>(src), static_cast<Vertex>(dst),
+       static_cast<std::int64_t>(multiplicity));
+  }
+}
+
+/// Streams a Matrix Market `matrix coordinate` file, invoking
+/// `fn(Vertex source, Vertex target, std::int64_t multiplicity)` per
+/// emitted directed edge — `symmetric`/`skew-symmetric` storage emits
+/// the mirrored edge as a second callback. Returns the declared vertex
+/// count (the graph may use fewer). \throws util::DataError on a
+/// malformed header, size line, or entry.
+template <typename EdgeFn>
+Vertex scan_matrix_market(std::istream& in, WeightHandling weights,
+                          EdgeFn&& fn) {
+  namespace d = iostream_detail;
+  std::string line;
+  std::size_t line_number = 1;
+  if (!std::getline(in, line)) d::fail_matrix_market(1, "empty input");
+
+  // Header: %%MatrixMarket matrix coordinate <field> <symmetry>.
+  // One line per file; tokenized in place (banner kept verbatim, the
+  // four keyword tokens lower-cased).
+  std::string words[5];
+  {
+    const char* p = line.c_str();
+    bool first = true;
+    for (auto& word : words) {
+      while (*p == ' ' || *p == '\t') ++p;
+      while (*p != '\0' && *p != ' ' && *p != '\t') {
+        word.push_back(first ? *p
+                             : static_cast<char>(std::tolower(
+                                   static_cast<unsigned char>(*p))));
+        ++p;
+      }
+      first = false;
+    }
+  }
+  if (words[0] != "%%MatrixMarket") {
+    d::fail_matrix_market(1, "missing %%MatrixMarket banner");
+  }
+  const std::string& object = words[1];
+  const std::string& format = words[2];
+  const std::string& field = words[3];
+  const std::string& symmetry = words[4];
+  if (object != "matrix") {
+    d::fail_matrix_market(1, "unsupported object '" + object + "'");
+  }
+  if (format != "coordinate") {
+    d::fail_matrix_market(1,
+                          "unsupported format '" + format +
+                              "' (only coordinate)");
+  }
+  if (field != "pattern" && field != "integer" && field != "real") {
+    d::fail_matrix_market(1, "unsupported field '" + field + "'");
+  }
+  if (symmetry != "general" && symmetry != "symmetric" &&
+      symmetry != "skew-symmetric") {
+    d::fail_matrix_market(1, "unsupported symmetry '" + symmetry + "'");
+  }
+  if (weights == WeightHandling::Multiplicity && field == "pattern") {
+    // Pattern matrices carry no values; multiplicity degrades to 1.
+    weights = WeightHandling::Ignore;
+  }
+
+  // Skip comment lines to the size line.
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line[0] != '%') break;
+  }
+  const char* cursor = line.c_str();
+  long long rows = 0, cols = 0, nnz = 0;
+  if (!iostream_detail::parse_ll(cursor, &rows, &cursor) ||
+      !iostream_detail::parse_ll(cursor, &cols, &cursor) ||
+      !iostream_detail::parse_ll(cursor, &nnz, &cursor)) {
+    d::fail_matrix_market(line_number,
+                          "expected 'rows cols nnz', got '" + line + "'");
+  }
+  if (rows != cols) {
+    d::fail_matrix_market(line_number,
+                          "adjacency matrix must be square (" +
+                              std::to_string(rows) + "x" +
+                              std::to_string(cols) + ")");
+  }
+  if (rows <= 0 || nnz < 0) d::fail_matrix_market(line_number,
+                                                  "invalid dimensions");
+
+  const bool mirror = symmetry != "general";
+  long long seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '%') continue;
+    cursor = line.c_str();
+    long long i = 0, j = 0;
+    if (!d::parse_ll(cursor, &i, &cursor) ||
+        !d::parse_ll(cursor, &j, &cursor)) {
+      d::fail_matrix_market(line_number,
+                            "expected 'i j [value]', got '" + line + "'");
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      d::fail_matrix_market(line_number, "entry (" + std::to_string(i) +
+                                             ", " + std::to_string(j) +
+                                             ") out of bounds");
+    }
+    long long multiplicity = 1;
+    if (weights == WeightHandling::Multiplicity) {
+      double value = 1.0;
+      if (d::parse_weight(cursor, &value)) {
+        multiplicity = d::weight_to_multiplicity(
+            std::fabs(value), line_number,
+            [](std::size_t n, const char* what) {
+              d::fail_matrix_market(n, what);
+            });
+      }
+    }
+    const auto src = static_cast<Vertex>(i - 1);
+    const auto dst = static_cast<Vertex>(j - 1);
+    fn(src, dst, static_cast<std::int64_t>(multiplicity));
+    if (mirror && src != dst) {
+      fn(dst, src, static_cast<std::int64_t>(multiplicity));
+    }
+    ++seen;
+  }
+  if (seen < nnz) {
+    d::fail_matrix_market(line_number,
+                          "expected " + std::to_string(nnz) +
+                              " entries, found " + std::to_string(seen));
+  }
+  return static_cast<Vertex>(rows);
+}
+
+}  // namespace hsbp::graph

@@ -1,0 +1,124 @@
+/// \file view.hpp
+/// \brief GraphView — the non-owning CSR view every SBP kernel runs on.
+///
+/// A GraphView is four raw array pointers plus three counts. It exposes
+/// the exact accessor surface of graph::Graph (num_vertices, num_edges,
+/// out/in_neighbors, out/in_degree, degree, num_self_loops), so any
+/// function taking `const GraphView&` accepts
+///   - an in-memory graph::Graph (implicit conversion, zero cost),
+///   - an MmapGraph over a binary CSR file (mmap_graph.hpp),
+///   - any other CSR-shaped storage (a subrange, a test fixture).
+///
+/// There is no virtual dispatch: the accessors are the same inline
+/// pointer arithmetic Graph itself uses, so routing the MCMC hot paths
+/// through GraphView changes neither the instruction stream nor the
+/// results — in-memory runs stay bit-identical.
+///
+/// Lifetime: a view never owns its arrays. The backing Graph (or file
+/// mapping) must outlive every use of the view; the implicit conversion
+/// from `const Graph&` is safe in call expressions (the temporary view
+/// lives for the full call) but a stored GraphView must be backed by a
+/// named object.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace hsbp::graph {
+
+class GraphView {
+ public:
+  GraphView() = default;
+
+  /// Implicit on purpose: every call site that passes a Graph to a
+  /// GraphView parameter keeps compiling (and keeps its behaviour).
+  GraphView(const Graph& g) noexcept  // NOLINT(google-explicit-constructor)
+      : out_offsets_(g.out_offsets_.data()),
+        out_targets_(g.out_targets_.data()),
+        in_offsets_(g.in_offsets_.data()),
+        in_sources_(g.in_sources_.data()),
+        num_vertices_(g.num_vertices()),
+        num_edges_(g.num_edges()),
+        self_loops_(g.num_self_loops()) {}
+
+  /// Raw-array constructor for mmap-backed and synthetic views.
+  /// \pre out_offsets/in_offsets have num_vertices+1 entries with
+  /// offsets[0] == 0 and offsets[V] == num_edges; target arrays have
+  /// num_edges entries in [0, num_vertices).
+  GraphView(const std::uint64_t* out_offsets, const Vertex* out_targets,
+            const std::uint64_t* in_offsets, const Vertex* in_sources,
+            Vertex num_vertices, EdgeCount num_edges,
+            EdgeCount self_loops) noexcept
+      : out_offsets_(out_offsets),
+        out_targets_(out_targets),
+        in_offsets_(in_offsets),
+        in_sources_(in_sources),
+        num_vertices_(num_vertices),
+        num_edges_(num_edges),
+        self_loops_(self_loops) {}
+
+  Vertex num_vertices() const noexcept { return num_vertices_; }
+  EdgeCount num_edges() const noexcept { return num_edges_; }
+
+  /// Targets of edges leaving v, with multiplicity.
+  std::span<const Vertex> out_neighbors(Vertex v) const noexcept {
+    return {out_targets_ + out_offsets_[static_cast<std::size_t>(v)],
+            out_targets_ + out_offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  /// Sources of edges entering v, with multiplicity.
+  std::span<const Vertex> in_neighbors(Vertex v) const noexcept {
+    return {in_sources_ + in_offsets_[static_cast<std::size_t>(v)],
+            in_sources_ + in_offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  EdgeCount out_degree(Vertex v) const noexcept {
+    return static_cast<EdgeCount>(
+        out_offsets_[static_cast<std::size_t>(v) + 1] -
+        out_offsets_[static_cast<std::size_t>(v)]);
+  }
+  EdgeCount in_degree(Vertex v) const noexcept {
+    return static_cast<EdgeCount>(
+        in_offsets_[static_cast<std::size_t>(v) + 1] -
+        in_offsets_[static_cast<std::size_t>(v)]);
+  }
+  /// Total degree: out + in (self-loops count twice).
+  EdgeCount degree(Vertex v) const noexcept {
+    return out_degree(v) + in_degree(v);
+  }
+
+  /// Number of self-loop edge instances.
+  EdgeCount num_self_loops() const noexcept { return self_loops_; }
+
+  /// Reconstructs the edge list (source-major order). Mostly for I/O,
+  /// tests, and the edge sampler; materializes O(E) memory.
+  std::vector<Edge> edges() const {
+    std::vector<Edge> result;
+    result.reserve(static_cast<std::size_t>(num_edges_));
+    for (Vertex v = 0; v < num_vertices_; ++v) {
+      for (const Vertex target : out_neighbors(v)) {
+        result.emplace_back(v, target);
+      }
+    }
+    return result;
+  }
+
+  const std::uint64_t* out_offsets_data() const noexcept {
+    return out_offsets_;
+  }
+  const Vertex* out_targets_data() const noexcept { return out_targets_; }
+  const std::uint64_t* in_offsets_data() const noexcept { return in_offsets_; }
+  const Vertex* in_sources_data() const noexcept { return in_sources_; }
+
+ private:
+  const std::uint64_t* out_offsets_ = nullptr;
+  const Vertex* out_targets_ = nullptr;
+  const std::uint64_t* in_offsets_ = nullptr;
+  const Vertex* in_sources_ = nullptr;
+  Vertex num_vertices_ = 0;
+  EdgeCount num_edges_ = 0;
+  EdgeCount self_loops_ = 0;
+};
+
+}  // namespace hsbp::graph

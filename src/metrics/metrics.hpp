@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <span>
 
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace hsbp::metrics {
 
@@ -20,7 +20,7 @@ double nmi(std::span<const std::int32_t> x, std::span<const std::int32_t> y);
 ///   Q = Σ_r [ M_rr / E − (d_out_r / E) · (d_in_r / E) ]
 /// where M is the inter-community edge-count matrix under `membership`.
 /// \pre membership.size() == V; labels non-negative.
-double modularity(const graph::Graph& graph,
+double modularity(const graph::GraphView& graph,
                   std::span<const std::int32_t> membership);
 
 /// MDL normalized by the structure-less null blockmodel (all vertices in
@@ -31,7 +31,7 @@ double normalized_mdl(double mdl_value, graph::Vertex num_vertices,
 
 /// Convenience overload: computes the MDL of `membership` on `graph`
 /// first. `num_blocks` = 1 + max label.
-double normalized_mdl(const graph::Graph& graph,
+double normalized_mdl(const graph::GraphView& graph,
                       std::span<const std::int32_t> membership);
 
 }  // namespace hsbp::metrics

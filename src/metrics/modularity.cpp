@@ -6,7 +6,7 @@
 
 namespace hsbp::metrics {
 
-double modularity(const graph::Graph& graph,
+double modularity(const graph::GraphView& graph,
                   std::span<const std::int32_t> membership) {
   if (membership.size() != static_cast<std::size_t>(graph.num_vertices())) {
     throw std::invalid_argument("modularity: membership size != V");

@@ -16,7 +16,7 @@ double normalized_mdl(double mdl_value, graph::Vertex num_vertices,
   return mdl_value / null_value;
 }
 
-double normalized_mdl(const graph::Graph& graph,
+double normalized_mdl(const graph::GraphView& graph,
                       std::span<const std::int32_t> membership) {
   std::int32_t num_blocks = 0;
   for (const std::int32_t label : membership) {

@@ -7,14 +7,14 @@
 namespace hsbp::sample {
 
 using blockmodel::BlockId;
-using graph::Graph;
+using graph::GraphView;
 using graph::Vertex;
 
 namespace {
 
 /// Plurality block among v's already-labeled neighbors, counting edge
 /// multiplicity in both directions; −1 if no neighbor is labeled yet.
-BlockId plurality_block(const Graph& graph,
+BlockId plurality_block(const GraphView& graph,
                         const std::vector<std::int32_t>& assignment,
                         std::vector<std::int64_t>& votes,
                         std::vector<BlockId>& touched, Vertex v) {
@@ -44,7 +44,7 @@ BlockId plurality_block(const Graph& graph,
 }  // namespace
 
 ExtrapolationResult extrapolate(
-    const Graph& graph, const SampledGraph& sampled,
+    const GraphView& graph, const SampledGraph& sampled,
     std::span<const std::int32_t> sample_assignment, BlockId num_blocks) {
   if (sample_assignment.size() != sampled.to_full.size()) {
     throw std::invalid_argument(

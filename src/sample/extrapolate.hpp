@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "blockmodel/blockmodel.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "sample/samplers.hpp"
 
 namespace hsbp::sample {
@@ -40,7 +40,7 @@ struct ExtrapolationResult {
 /// Propagates `sample_assignment` (a partition of `sampled.subgraph`
 /// into [0, num_blocks)) onto every vertex of `graph`.
 /// \throws std::invalid_argument if sizes or labels are inconsistent.
-ExtrapolationResult extrapolate(const graph::Graph& graph,
+ExtrapolationResult extrapolate(const graph::GraphView& graph,
                                 const SampledGraph& sampled,
                                 std::span<const std::int32_t> sample_assignment,
                                 blockmodel::BlockId num_blocks);

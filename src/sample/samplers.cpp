@@ -12,7 +12,7 @@
 namespace hsbp::sample {
 
 using graph::EdgeCount;
-using graph::Graph;
+using graph::GraphView;
 using graph::Vertex;
 
 const char* sampler_name(SamplerKind kind) noexcept {
@@ -59,7 +59,7 @@ namespace {
 /// run dry (edge sampling cannot reach isolated vertices, snowball can
 /// exhaust every component). Deterministic: partial Fisher-Yates over
 /// the not-yet-sampled ids in ascending order.
-void fill_uniform_remainder(const Graph& graph, Vertex target,
+void fill_uniform_remainder(const GraphView& graph, Vertex target,
                             std::vector<char>& in_sample,
                             std::vector<Vertex>& out, util::Rng& rng) {
   if (static_cast<Vertex>(out.size()) >= target) return;
@@ -84,7 +84,7 @@ class UniformRandomSampler final : public Sampler {
     return SamplerKind::UniformRandom;
   }
 
-  std::vector<Vertex> select(const Graph& graph, Vertex target,
+  std::vector<Vertex> select(const GraphView& graph, Vertex target,
                              util::Rng& rng) const override {
     std::vector<Vertex> ids(static_cast<std::size_t>(graph.num_vertices()));
     std::iota(ids.begin(), ids.end(), Vertex{0});
@@ -109,7 +109,7 @@ class DegreeWeightedSampler final : public Sampler {
   /// w = degree(v)+1 (the +1 keeps isolated vertices reachable); the
   /// `target` largest keys win. One pass, no rejection loop, exactly
   /// `target` distinct vertices for any fraction.
-  std::vector<Vertex> select(const Graph& graph, Vertex target,
+  std::vector<Vertex> select(const GraphView& graph, Vertex target,
                              util::Rng& rng) const override {
     const Vertex n = graph.num_vertices();
     std::vector<std::pair<double, Vertex>> keys;
@@ -143,7 +143,7 @@ class RandomEdgeSampler final : public Sampler {
     return SamplerKind::RandomEdge;
   }
 
-  std::vector<Vertex> select(const Graph& graph, Vertex target,
+  std::vector<Vertex> select(const GraphView& graph, Vertex target,
                              util::Rng& rng) const override {
     const auto edges = graph.edges();
     std::vector<char> in_sample(
@@ -180,7 +180,7 @@ class ExpansionSnowballSampler final : public Sampler {
     return SamplerKind::ExpansionSnowball;
   }
 
-  std::vector<Vertex> select(const Graph& graph, Vertex target,
+  std::vector<Vertex> select(const GraphView& graph, Vertex target,
                              util::Rng& rng) const override {
     const Vertex n = graph.num_vertices();
     std::vector<char> in_sample(static_cast<std::size_t>(n), 0);
@@ -251,7 +251,7 @@ std::unique_ptr<Sampler> make_sampler(SamplerKind kind) {
   throw std::invalid_argument("make_sampler: unknown kind");
 }
 
-SampledGraph induced_subgraph(const Graph& graph,
+SampledGraph induced_subgraph(const GraphView& graph,
                               std::vector<Vertex> vertices) {
   std::sort(vertices.begin(), vertices.end());
   for (std::size_t i = 0; i < vertices.size(); ++i) {
@@ -284,7 +284,7 @@ SampledGraph induced_subgraph(const Graph& graph,
   return sampled;
 }
 
-SampledGraph sample_graph(const Graph& graph, SamplerKind kind,
+SampledGraph sample_graph(const GraphView& graph, SamplerKind kind,
                           double fraction, std::uint64_t seed) {
   const Vertex target = sample_size(graph.num_vertices(), fraction);
   util::Rng rng(seed);

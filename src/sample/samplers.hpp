@@ -29,7 +29,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "util/rng.hpp"
 
 namespace hsbp::sample {
@@ -74,7 +74,7 @@ class Sampler {
 
   /// Returns `target` distinct vertex ids (unordered).
   /// \pre 1 <= target <= graph.num_vertices().
-  virtual std::vector<graph::Vertex> select(const graph::Graph& graph,
+  virtual std::vector<graph::Vertex> select(const graph::GraphView& graph,
                                             graph::Vertex target,
                                             util::Rng& rng) const = 0;
 };
@@ -85,13 +85,13 @@ std::unique_ptr<Sampler> make_sampler(SamplerKind kind);
 /// duplicates rejected). Every full-graph edge whose endpoints are both
 /// sampled appears with its multiplicity.
 /// \throws std::invalid_argument on out-of-range or duplicate ids.
-SampledGraph induced_subgraph(const graph::Graph& graph,
+SampledGraph induced_subgraph(const graph::GraphView& graph,
                               std::vector<graph::Vertex> vertices);
 
 /// Convenience driver: select ceil(fraction·V) vertices with the given
 /// strategy and induce the subgraph. Deterministic in `seed`.
 /// \throws std::invalid_argument if fraction outside (0, 1].
-SampledGraph sample_graph(const graph::Graph& graph, SamplerKind kind,
+SampledGraph sample_graph(const graph::GraphView& graph, SamplerKind kind,
                           double fraction, std::uint64_t seed);
 
 }  // namespace hsbp::sample

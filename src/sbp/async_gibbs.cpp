@@ -7,10 +7,10 @@
 namespace hsbp::sbp {
 
 using blockmodel::Blockmodel;
-using graph::Graph;
+using graph::GraphView;
 using graph::Vertex;
 
-PhaseOutcome async_gibbs_phase(const Graph& graph, Blockmodel& b,
+PhaseOutcome async_gibbs_phase(const GraphView& graph, Blockmodel& b,
                                const McmcSettings& settings,
                                util::RngPool& rngs) {
   PhaseOutcome outcome;

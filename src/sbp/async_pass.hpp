@@ -183,7 +183,7 @@ inline constexpr double kDefaultRebuildThreshold = 0.25;
 /// every mode — only which thread evaluates which vertex (and hence
 /// which staleness interleavings occur) changes.
 inline AsyncPassCounters async_pass(
-    const graph::Graph& graph, const blockmodel::Blockmodel& b,
+    const graph::GraphView& graph, const blockmodel::Blockmodel& b,
     PassWorkspace& ws, std::span<const graph::Vertex> vertices, double beta,
     util::RngPool& rngs, PassSchedule schedule = PassSchedule::Static) {
   AsyncPassCounters counters;
@@ -306,7 +306,7 @@ inline AsyncPassCounters async_pass(
 /// the pass diff; the MDL because the likelihood sums are maintained in
 /// order-independent fixed point. Requires the PassWorkspace invariant
 /// (shared == b.assignment on entry to the preceding async_pass).
-inline PassApply finish_pass(const graph::Graph& graph,
+inline PassApply finish_pass(const graph::GraphView& graph,
                              blockmodel::Blockmodel& b, PassWorkspace& ws,
                              double rebuild_threshold =
                                  kDefaultRebuildThreshold) {

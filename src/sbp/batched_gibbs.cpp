@@ -8,10 +8,10 @@
 namespace hsbp::sbp {
 
 using blockmodel::Blockmodel;
-using graph::Graph;
+using graph::GraphView;
 using graph::Vertex;
 
-PhaseOutcome batched_gibbs_phase(const Graph& graph, Blockmodel& b,
+PhaseOutcome batched_gibbs_phase(const GraphView& graph, Blockmodel& b,
                                  const McmcSettings& settings,
                                  int batch_count, util::RngPool& rngs) {
   PhaseOutcome outcome;

@@ -33,7 +33,7 @@ BlockId find_root(std::vector<BlockId>& parent, BlockId x) {
 
 }  // namespace
 
-MergeOutcome block_merge_phase(const graph::Graph& graph, const Blockmodel& b,
+MergeOutcome block_merge_phase(const graph::GraphView& graph, const Blockmodel& b,
                                BlockId target_blocks, int proposals_per_block,
                                util::RngPool& rngs) {
   const BlockId num_blocks = b.num_blocks();

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "blockmodel/blockmodel.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "util/rng.hpp"
 
 namespace hsbp::sbp {
@@ -26,7 +26,7 @@ struct MergeOutcome {
 
 /// Merges blocks of `b` down to (at most) `target_blocks`.
 /// \pre 1 <= target_blocks <= b.num_blocks().
-MergeOutcome block_merge_phase(const graph::Graph& graph,
+MergeOutcome block_merge_phase(const graph::GraphView& graph,
                                const blockmodel::Blockmodel& b,
                                blockmodel::BlockId target_blocks,
                                int proposals_per_block, util::RngPool& rngs);

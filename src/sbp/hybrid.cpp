@@ -5,10 +5,10 @@
 namespace hsbp::sbp {
 
 using blockmodel::Blockmodel;
-using graph::Graph;
+using graph::GraphView;
 using graph::Vertex;
 
-PhaseOutcome hybrid_phase(const Graph& graph, Blockmodel& b,
+PhaseOutcome hybrid_phase(const GraphView& graph, Blockmodel& b,
                           const McmcSettings& settings,
                           const graph::DegreeSplit& split,
                           util::RngPool& rngs) {

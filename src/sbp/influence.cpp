@@ -15,7 +15,7 @@ using graph::Vertex;
 namespace {
 
 /// π_i(· | state): softmax over exp(−β ΔMDL(i→c)).
-std::vector<double> conditional_distribution(const graph::Graph& graph,
+std::vector<double> conditional_distribution(const graph::GraphView& graph,
                                              const Blockmodel& b, Vertex i,
                                              double beta) {
   const BlockId current = b.block_of(i);
@@ -53,7 +53,7 @@ double total_variation(const std::vector<double>& p,
 
 }  // namespace
 
-InfluenceResult total_influence(const graph::Graph& graph,
+InfluenceResult total_influence(const graph::GraphView& graph,
                                 std::span<const std::int32_t> assignment,
                                 BlockId num_blocks, double beta,
                                 Vertex max_vertices) {

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "blockmodel/blockmodel.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace hsbp::sbp {
 
@@ -36,7 +36,7 @@ struct InfluenceResult {
 /// \pre assignment labels lie in [0, num_blocks).
 /// \throws std::invalid_argument if V > max_vertices (guard against the
 /// O(V²C³) blow-up the paper warns about).
-InfluenceResult total_influence(const graph::Graph& graph,
+InfluenceResult total_influence(const graph::GraphView& graph,
                                 std::span<const std::int32_t> assignment,
                                 blockmodel::BlockId num_blocks, double beta,
                                 graph::Vertex max_vertices = 512);

@@ -57,7 +57,7 @@ struct McmcPhaseStats {
 /// `can_empty_block(from)` guard: moves that would empty their source
 /// block are rejected (the block count is owned by the merge phase).
 template <typename View>
-VertexOutcome evaluate_vertex(const graph::Graph& graph,
+VertexOutcome evaluate_vertex(const graph::GraphView& graph,
                               const blockmodel::Blockmodel& b,
                               const View& view, graph::Vertex v,
                               std::int32_t source_block_size, double beta,
@@ -86,7 +86,7 @@ VertexOutcome evaluate_vertex(const graph::Graph& graph,
 
 /// Convenience overload using the calling thread's scratch arena.
 template <typename View>
-VertexOutcome evaluate_vertex(const graph::Graph& graph,
+VertexOutcome evaluate_vertex(const graph::GraphView& graph,
                               const blockmodel::Blockmodel& b,
                               const View& view, graph::Vertex v,
                               std::int32_t source_block_size, double beta,

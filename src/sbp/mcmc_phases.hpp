@@ -5,7 +5,7 @@
 
 #include "blockmodel/blockmodel.hpp"
 #include "graph/degree.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "sbp/mcmc_common.hpp"
 #include "util/rng.hpp"
 
@@ -21,7 +21,7 @@ struct PhaseOutcome {
 
 /// Paper Alg. 2 — serial Metropolis-Hastings. Every accepted move
 /// updates the blockmodel in place; proposals always see fresh state.
-PhaseOutcome metropolis_hastings_phase(const graph::Graph& graph,
+PhaseOutcome metropolis_hastings_phase(const graph::GraphView& graph,
                                        blockmodel::Blockmodel& b,
                                        const McmcSettings& settings,
                                        util::RngPool& rngs);
@@ -31,7 +31,7 @@ PhaseOutcome metropolis_hastings_phase(const graph::Graph& graph,
 /// and a shared membership vector updated with relaxed atomics (other
 /// threads' in-pass moves may or may not be visible — the "asynchronous"
 /// in the name); the blockmodel is rebuilt in parallel after each pass.
-PhaseOutcome async_gibbs_phase(const graph::Graph& graph,
+PhaseOutcome async_gibbs_phase(const graph::GraphView& graph,
                                blockmodel::Blockmodel& b,
                                const McmcSettings& settings,
                                util::RngPool& rngs);
@@ -39,7 +39,7 @@ PhaseOutcome async_gibbs_phase(const graph::Graph& graph,
 /// Paper Alg. 4 — hybrid (H-SBP): `split.high` (the top-degree vertices)
 /// is processed first, serially and in place; `split.low` then runs as
 /// one asynchronous pass; the blockmodel is rebuilt at pass end.
-PhaseOutcome hybrid_phase(const graph::Graph& graph,
+PhaseOutcome hybrid_phase(const graph::GraphView& graph,
                           blockmodel::Blockmodel& b,
                           const McmcSettings& settings,
                           const graph::DegreeSplit& split,
@@ -50,7 +50,7 @@ PhaseOutcome hybrid_phase(const graph::Graph& graph,
 /// over random slices of the vertex set with a blockmodel rebuild
 /// between slices, bounding staleness to 1/batch_count of a pass with
 /// no serial section at all.
-PhaseOutcome batched_gibbs_phase(const graph::Graph& graph,
+PhaseOutcome batched_gibbs_phase(const graph::GraphView& graph,
                                  blockmodel::Blockmodel& b,
                                  const McmcSettings& settings,
                                  int batch_count, util::RngPool& rngs);

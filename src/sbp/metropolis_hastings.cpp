@@ -4,10 +4,10 @@
 namespace hsbp::sbp {
 
 using blockmodel::Blockmodel;
-using graph::Graph;
+using graph::GraphView;
 using graph::Vertex;
 
-PhaseOutcome metropolis_hastings_phase(const Graph& graph, Blockmodel& b,
+PhaseOutcome metropolis_hastings_phase(const GraphView& graph, Blockmodel& b,
                                        const McmcSettings& settings,
                                        util::RngPool& rngs) {
   PhaseOutcome outcome;

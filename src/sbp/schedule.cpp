@@ -28,7 +28,7 @@ std::optional<PassSchedule> parse_schedule(std::string_view name) noexcept {
   return std::nullopt;
 }
 
-void degree_sorted_order(const graph::Graph& graph,
+void degree_sorted_order(const graph::GraphView& graph,
                          std::span<const graph::Vertex> vertices,
                          std::vector<graph::Vertex>& out) {
   out.assign(vertices.begin(), vertices.end());

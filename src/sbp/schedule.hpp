@@ -26,7 +26,7 @@
 #include <string_view>
 #include <vector>
 
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace hsbp::sbp {
 
@@ -48,7 +48,7 @@ std::optional<PassSchedule> parse_schedule(std::string_view name) noexcept;
 /// Fills `out` with `vertices` re-ordered by descending total degree.
 /// Ties keep their input order (stable), so the result — and therefore
 /// the DegreeSorted vertex→thread mapping — is deterministic.
-void degree_sorted_order(const graph::Graph& graph,
+void degree_sorted_order(const graph::GraphView& graph,
                          std::span<const graph::Vertex> vertices,
                          std::vector<graph::Vertex>& out);
 

@@ -9,7 +9,7 @@
 namespace hsbp::sbp {
 
 using graph::DegreeSplit;
-using graph::Graph;
+using graph::GraphView;
 using graph::Vertex;
 
 const char* selection_name(HybridSelection selection) noexcept {
@@ -37,7 +37,7 @@ DegreeSplit split_order(std::vector<Vertex> order, double fraction) {
 /// Vertex score under the edge-information-content reading of [10]:
 /// Σ over incident edges (v,u) of log(1 + d_v·d_u). Self-loops count
 /// once.
-std::vector<double> edge_info_scores(const Graph& graph) {
+std::vector<double> edge_info_scores(const GraphView& graph) {
   std::vector<double> scores(static_cast<std::size_t>(graph.num_vertices()),
                              0.0);
   for (Vertex v = 0; v < graph.num_vertices(); ++v) {
@@ -57,7 +57,7 @@ std::vector<double> edge_info_scores(const Graph& graph) {
 
 }  // namespace
 
-DegreeSplit select_hybrid_vertices(const Graph& graph, double fraction,
+DegreeSplit select_hybrid_vertices(const GraphView& graph, double fraction,
                                    HybridSelection selection,
                                    std::uint64_t seed) {
   assert(fraction >= 0.0 && fraction <= 1.0);

@@ -18,7 +18,7 @@
 #include <cstdint>
 
 #include "graph/degree.hpp"
-#include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "util/rng.hpp"
 
 namespace hsbp::sbp {
@@ -35,7 +35,7 @@ const char* selection_name(HybridSelection selection) noexcept;
 /// paper's split — ceil(fraction·V) serial — under the given strategy.
 /// Deterministic in `seed` (used only by Random).
 /// \pre 0 <= fraction <= 1.
-graph::DegreeSplit select_hybrid_vertices(const graph::Graph& graph,
+graph::DegreeSplit select_hybrid_vertices(const graph::GraphView& graph,
                                           double fraction,
                                           HybridSelection selection,
                                           std::uint64_t seed);

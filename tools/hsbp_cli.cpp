@@ -18,6 +18,13 @@
 ///   hsbp dist      [generator flags] [--ranks R]
 ///                  [--partition range|roundrobin|balanced]
 ///   hsbp score     <truth.tsv> <predicted.tsv>
+///   hsbp convert   <graph-file> <out.csr> [--weighted]
+///   hsbp fit       <graph-file|file.csr> [--mmap] [--memory-budget-mb N]
+///                  [--pieces K] [--skeleton-frac F]
+///                  [--sampler uniform|degree|edge|snowball]
+///                  [--finetune-iters N] [--algorithm sbp|asbp|hsbp|bsbp]
+///                  [--seed S] [--threads T] [--weighted] [--out FILE]
+///                  [--json]
 ///   hsbp serve     <graph-file> [more graphs] (--socket PATH | --port N)
 ///                  [--algorithm ...] [--weighted] [--seed S] [--threads T]
 ///                  [--checkpoint DIR] [--resume] [--refine K]
@@ -70,8 +77,11 @@
 #include "eval/partition_io.hpp"
 #include "eval/report.hpp"
 #include "generator/suites.hpp"
+#include "graph/binary_csr.hpp"
 #include "graph/components.hpp"
 #include "graph/io.hpp"
+#include "graph/mmap_graph.hpp"
+#include "ooc/ooc.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/pairwise.hpp"
 #include "sample/sample_sbp.hpp"
@@ -101,7 +111,7 @@ constexpr int kExitInterrupted = 75;
   std::fprintf(
       stderr,
       "usage: hsbp <generate|detect|compare|sample|stream|dist|score|"
-      "serve|query|version> "
+      "convert|fit|serve|query|version> "
       "[flags]\n"
       "run `hsbp <command> --help` for the command's flags\n");
   std::exit(code);
@@ -728,6 +738,109 @@ int cmd_query(const Args& args) {
   return hsbp::serve::is_ok(*reply) ? 0 : kExitData;
 }
 
+int cmd_convert(const Args& args) {
+  if (args.has("help") || args.positionals().size() != 2) {
+    std::printf("hsbp convert <graph-file> <out.csr> [--weighted]\n");
+    return args.has("help") ? 0 : kExitUsage;
+  }
+  const std::string& input = args.positionals()[0];
+  const std::string& output = args.positionals()[1];
+  const auto weights = args.get_bool("weighted", false)
+                           ? hsbp::graph::WeightHandling::Multiplicity
+                           : hsbp::graph::WeightHandling::Ignore;
+  const auto stats = hsbp::graph::convert_text_to_csr(input, output, weights);
+  std::printf("V=%d E=%lld self-loops=%lld -> %s (%lld bytes)\n",
+              stats.num_vertices, static_cast<long long>(stats.num_edges),
+              static_cast<long long>(stats.self_loops), output.c_str(),
+              static_cast<long long>(stats.file_bytes));
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  if (args.has("help") || args.positionals().empty()) {
+    std::printf(
+        "hsbp fit <graph-file|file.csr> [--mmap] [--memory-budget-mb N] "
+        "[--pieces K] [--skeleton-frac F]\n"
+        "         [--sampler uniform|degree|edge|snowball] "
+        "[--finetune-iters N] [--algorithm sbp|asbp|hsbp|bsbp]\n"
+        "         [--seed S] [--threads T] [--weighted] [--out FILE] "
+        "[--json]\n");
+    return args.has("help") ? 0 : kExitUsage;
+  }
+  const std::string& path = args.positionals().front();
+
+  hsbp::ooc::OocConfig config;
+  config.base = base_config(args);
+  config.base.variant = parse_variant(args.get_string("algorithm", "hsbp"));
+  config.sampler =
+      hsbp::sample::parse_sampler(args.get_string("sampler", "degree"));
+  config.skeleton_fraction = args.get_double("skeleton-frac", 0.1);
+  config.memory_budget_mb = args.get_int("memory-budget-mb", 0);
+  config.pieces = static_cast<int>(args.get_int("pieces", 0));
+  config.finetune_max_iterations =
+      static_cast<int>(args.get_int("finetune-iters", 10));
+
+  const bool is_csr =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csr") == 0;
+  const bool use_mmap = args.get_bool("mmap", false) || is_csr;
+
+  hsbp::ooc::OocResult result;
+  hsbp::graph::Vertex num_vertices = 0;
+  hsbp::graph::EdgeCount num_edges = 0;
+  if (use_mmap) {
+    hsbp::graph::MmapGraph mapped(path);
+    config.release_cache = [&mapped] { mapped.evict(); };
+    num_vertices = mapped.num_vertices();
+    num_edges = mapped.num_edges();
+    result = hsbp::ooc::fit(mapped.view(), config);
+  } else {
+    const auto graph = load_graph(path, args.get_bool("weighted", false));
+    num_vertices = graph.num_vertices();
+    num_edges = graph.num_edges();
+    result = hsbp::ooc::fit(graph, config);
+  }
+
+  const std::int64_t rss_kb = hsbp::ooc::peak_rss_kb();
+  if (args.has("json")) {
+    std::printf(
+        "{\"vertices\":%d,\"edges\":%lld,\"blocks\":%d,\"mdl\":%.6f,"
+        "\"pieces\":%d,\"pieces_refit\":%d,\"skeleton_vertices\":%d,"
+        "\"estimated_csr_bytes\":%lld,\"peak_rss_kb\":%lld,"
+        "\"timings\":{\"skeleton_s\":%.3f,\"extrapolate_s\":%.3f,"
+        "\"pieces_s\":%.3f,\"finetune_s\":%.3f,\"total_s\":%.3f}}\n",
+        num_vertices, static_cast<long long>(num_edges), result.num_blocks,
+        result.mdl, result.pieces_planned, result.pieces_refit,
+        result.skeleton_vertices,
+        static_cast<long long>(result.estimated_csr_bytes),
+        static_cast<long long>(rss_kb), result.timings.skeleton_seconds,
+        result.timings.extrapolate_seconds, result.timings.pieces_seconds,
+        result.timings.finetune_seconds, result.timings.total_seconds);
+  } else {
+    std::printf(
+        "%s fit (%s): V=%d E=%lld -> %d communities, MDL %.2f\n"
+        "pieces=%d/%d skeleton=%d vertices, peak RSS %lld KiB "
+        "(CSR estimate %lld KiB)\n"
+        "stages: skeleton %.2fs extrapolate %.2fs pieces %.2fs "
+        "finetune %.2fs total %.2fs\n",
+        hsbp::sbp::variant_name(config.base.variant),
+        use_mmap ? "mmap" : "in-memory", num_vertices,
+        static_cast<long long>(num_edges), result.num_blocks, result.mdl,
+        result.pieces_refit, result.pieces_planned, result.skeleton_vertices,
+        static_cast<long long>(rss_kb),
+        static_cast<long long>(result.estimated_csr_bytes / 1024),
+        result.timings.skeleton_seconds, result.timings.extrapolate_seconds,
+        result.timings.pieces_seconds, result.timings.finetune_seconds,
+        result.timings.total_seconds);
+  }
+
+  if (args.has("out")) {
+    const std::string out_path = args.get_string("out", "");
+    hsbp::eval::save_assignment_file(result.assignment, out_path);
+    if (!args.has("json")) std::printf("assignment -> %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -742,6 +855,8 @@ int main(int argc, char** argv) {
     if (command == "stream") return cmd_stream(args);
     if (command == "dist") return cmd_dist(args);
     if (command == "score") return cmd_score(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "fit") return cmd_fit(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "query") return cmd_query(args);
     if (command == "version") {
